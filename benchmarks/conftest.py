@@ -1,0 +1,37 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables/figures, prints it,
+and writes the rendered text under ``results/`` so EXPERIMENTS.md can be
+assembled from actual runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import run_detection
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def detection():
+    """One full detection run over the corpus, shared by the table benches."""
+    return run_detection()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _save

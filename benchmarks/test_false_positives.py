@@ -1,0 +1,66 @@
+"""§5.4 false positives: ~14% of reported warnings, with the paper's two
+root causes reconstructed in the corpus:
+
+1. conservative static analysis — DSA/symbolic disambiguation fails
+   without dynamic context (laundered pointers, runtime-equal indices,
+   loop-unrolled element flushes, path-correlated writes);
+2. programmer intent — the persistency model implemented "in a way
+   according to their own intentions" (deliberately split atomic updates).
+"""
+
+from repro.bench import run_detection
+from repro.corpus import REGISTRY
+
+
+def test_false_positive_rate(benchmark, detection, save_result):
+    fp = benchmark(lambda: [b for o in detection.outcomes
+                            for b in o.false_positives])
+
+    assert len(fp) == 7
+    assert detection.total_warnings == 50
+    assert abs(detection.false_positive_rate - 0.14) < 0.001  # paper: 14%
+
+    # cause #1 (conservative analysis): the alias/path blind spots
+    cause1 = {("pmdk", "btree_map.c", 208),
+              ("pmdk", "rbtree_map.c", 300),
+              ("pmfs", "journal.c", 680),
+              ("pmfs", "super.c", 584),
+              ("nvm_direct", "nvm_region.c", 700),
+              ("nvm_direct", "nvm_heap.c", 1700)}
+    # cause #2 (programmer intent): deliberately split atomic sections
+    cause2 = {("pmdk", "hashmap_atomic.c", 496)}
+    got = {(b.framework, b.file, b.line) for b in fp}
+    assert got == cause1 | cause2
+
+    lines = [f"§5.4: {len(fp)}/50 warnings are false positives "
+             f"({detection.false_positive_rate:.0%}; paper: 14%)", ""]
+    for b in sorted(fp, key=lambda x: (x.framework, x.file, x.line)):
+        lines.append(f"  FP {b.bug_id}: {b.description}")
+    save_result("false_positives_5_4", "\n".join(lines))
+
+
+def test_false_positives_vanish_with_dynamic_context(benchmark):
+    """The cause-#1 FPs are artifacts of static analysis: executing the
+    programs shows no crash-consistency problem nor wasted persistence
+    work at those sites (validated via runtime counters)."""
+    from repro.vm import Interpreter
+
+    def run_all():
+        outcomes = {}
+        for name in ("pmdk_btree_map", "nvmdirect_region"):
+            prog = REGISTRY.program(name)
+            result = Interpreter(prog.build()).run(prog.entry)
+            outcomes[name] = result
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_all, iterations=1, rounds=1)
+    # btree FP: the laundered flush really flushed — after main completes,
+    # nothing remains dirty-but-unflushed in NVM.
+    btree = outcomes["pmdk_btree_map"]
+    assert btree.domain.dirty_unflushed_lines() == [] or all(
+        line not in btree.domain.pending_lines()
+        for line in btree.domain.dirty_unflushed_lines()
+    )
+    # region FP: the "empty" transaction did write persistently.
+    region = outcomes["nvmdirect_region"]
+    assert region.stats.persistent_stores > 0

@@ -1,0 +1,24 @@
+"""Table 2: number of studied persistency bugs per framework.
+
+Paper: PMDK 5+6=11, PMFS 2+3=5, NVM-Direct 2+1=3 → 19 total (9 violations,
+10 performance — the 47%/53% split of §3.2/§3.3).
+"""
+
+from repro.bench import render_table2, run_detection, table2_counts
+
+
+def test_table2_studied_bugs(benchmark, detection, save_result):
+    counts = benchmark(table2_counts, detection)
+
+    assert counts["pmdk"] == (5, 6)
+    assert counts["pmfs"] == (2, 3)
+    assert counts["nvm_direct"] == (2, 1)
+    assert "mnemosyne" not in counts  # no studied Mnemosyne bugs (Table 2)
+
+    total_v = sum(v for v, _ in counts.values())
+    total_p = sum(p for _, p in counts.values())
+    assert (total_v, total_p) == (9, 10)
+    # §3.2: violations ≈ 47% of studied bugs
+    assert abs(total_v / (total_v + total_p) - 0.47) < 0.01
+
+    save_result("table2", render_table2(detection))

@@ -1,0 +1,80 @@
+"""Table 5: the performance-bug checking rules, driven against minimal
+positive examples for each row."""
+
+from repro import check_module
+from repro.bench import render_table5
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty
+from repro.models import EPOCH, STRICT
+
+
+def _flush_unmodified():
+    mod = Module("r", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, line=1)
+    b.flush(p, 8, line=2)
+    b.fence(line=3)
+    b.ret(line=4)
+    return mod, "perf.flush-unmodified"
+
+
+def _redundant_flush():
+    mod = Module("r", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, line=1)
+    b.store(1, p, line=2)
+    b.flush(p, 8, line=3)
+    b.flush(p, 8, line=4)
+    b.fence(line=5)
+    b.ret(line=6)
+    return mod, "perf.redundant-flush"
+
+
+def _multi_persist_tx():
+    mod = Module("r", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, line=1)
+    b.txbegin(REGION_TX, line=2)
+    b.txadd(p, 8, line=3)
+    b.txadd(p, 8, line=4)
+    b.store(1, p, line=5)
+    b.txend(REGION_TX, line=6)
+    b.ret(line=7)
+    return mod, "perf.multi-persist-tx"
+
+
+def _empty_tx():
+    mod = Module("r", persistency_model="strict")
+    fn = mod.define_function("main", ty.I64, [], source_file="r.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, line=1)
+    b.txbegin(REGION_TX, line=2)
+    v = b.load(p, line=3)
+    b.txend(REGION_TX, line=4)
+    b.ret(v, line=5)
+    return mod, "perf.empty-durable-tx"
+
+
+def test_table5_perf_rules(benchmark, save_result):
+    # §3.3: performance rules are model-independent — both strict and epoch
+    # activate all four.
+    perf_strict = {r.rule_id for r in STRICT.performance_rules()}
+    perf_epoch = {r.rule_id for r in EPOCH.performance_rules()}
+    assert perf_strict == perf_epoch
+    assert len(perf_strict) == 4
+
+    def drive_all():
+        hits = []
+        for build in (_flush_unmodified, _redundant_flush,
+                      _multi_persist_tx, _empty_tx):
+            mod, rule_id = build()
+            report = check_module(mod)
+            hits.append(any(w.rule_id == rule_id for w in report.warnings()))
+        return hits
+
+    hits = benchmark.pedantic(drive_all, iterations=1, rounds=3)
+    assert all(hits)
+
+    save_result("table5", render_table5())

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""§5.1 in miniature: fix the detected performance bugs, measure the win.
+
+Takes three corpus programs with performance bugs (redundant write-backs,
+whole-object flushes, empty durable transactions), runs each buggy and
+perf-fixed on the cycle-accurate NVM simulator, and prints the improvement
+alongside the runtime counters that explain it.
+
+Run:  python examples/perf_bug_speedup.py
+"""
+
+from repro.corpus import REGISTRY
+from repro.vm import Interpreter
+
+PROGRAMS = ("pmfs_super", "pmdk_pminvaders", "mnemosyne_chash")
+REPEAT = 64
+
+
+def main() -> None:
+    print(f"{'program':<18} {'variant':<7} {'cycles':>10} {'flushes':>8} "
+          f"{'clean':>6} {'dup':>5} {'NVM bytes':>10}")
+    print("-" * 70)
+    for name in PROGRAMS:
+        prog = REGISTRY.program(name)
+        cycles = {}
+        for variant, fixed in (("buggy", False), ("fixed", "perf")):
+            module = prog.build(fixed=fixed, repeat=REPEAT)
+            result = Interpreter(module).run(prog.entry)
+            s = result.stats
+            cycles[variant] = s.cycles
+            print(f"{name:<18} {variant:<7} {s.cycles:>10,} {s.flushes:>8} "
+                  f"{s.flushes_clean:>6} {s.flushes_duplicate:>5} "
+                  f"{s.nvm_write_bytes:>10,}")
+        gain = (cycles["buggy"] - cycles["fixed"]) / cycles["buggy"] * 100
+        print(f"{'':18} -> improvement: {gain:.1f}%\n")
+
+    print("The wasted work shows up directly in the counters: clean-line")
+    print("flushes (write-backs of unmodified data), duplicate flushes, and")
+    print("excess NVM write traffic all drop to the necessary minimum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+/* The paper's Figure 9: Oracle NVM-Direct's nvm_lock, whose update of
+ * lk->new_level is never flushed. Strict persistency.
+ *
+ *   deepmc check examples/programs/nvm_lock.c --suggest-fixes
+ */
+#pragma persistency(strict)
+
+struct nvm_amutex {
+    long owners;
+    long level;
+};
+
+struct nvm_lkrec {
+    long state;
+    long pad0[7];
+    long new_level;
+    long owner;
+};
+
+struct nvm_lkrec* nvm_add_lock_op(struct nvm_amutex* mutex) {
+    struct nvm_lkrec* lk = pmalloc(struct nvm_lkrec);
+    return lk;
+}
+
+void nvm_lock(struct nvm_amutex* omutex) {
+    struct nvm_lkrec* lk = nvm_add_lock_op(omutex);
+    lk->state = 1;
+    pmem_persist(lk, 8);
+    omutex->owners = omutex->owners - 1;
+    pmem_persist(omutex, 8);
+    if (omutex->level > lk->new_level) {
+        lk->new_level = omutex->level;       /* <- never flushed (line 32) */
+    }
+    lk->state = 2;
+    pmem_persist(lk, 8);
+}
+
+long main(void) {
+    struct nvm_amutex* mutex = pmalloc(struct nvm_amutex);
+    mutex->level = 5;
+    pmem_persist(mutex, 16);
+    nvm_lock(mutex);
+    return mutex->owners;
+}

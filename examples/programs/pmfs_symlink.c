@@ -1,0 +1,38 @@
+/* The paper's Figure 4: PMFS's nested-transaction symlink bug.
+ * The inner transaction flushes the block but ends without a persist
+ * barrier, so its writes are not ordered before the outer transaction
+ * resumes. Epoch persistency.
+ *
+ *   deepmc check examples/programs/pmfs_symlink.c
+ */
+#pragma persistency(epoch)
+
+struct pmfs_inode {
+    long i_size;
+    long i_mtime;
+};
+
+void pmfs_block_symlink(char* blockp) {
+    epoch_begin();
+    memset(blockp, 47, 64);
+    pmem_flush(blockp, 64);
+    epoch_end();                 /* <- missing barrier here */
+}
+
+void pmfs_symlink(struct pmfs_inode* inode, char* blockp) {
+    epoch_begin();
+    tx_begin();
+    tx_add(inode, 8);
+    inode->i_size = 64;
+    pmfs_block_symlink(blockp);
+    tx_end();
+    pmem_fence();
+    epoch_end();
+}
+
+long main(void) {
+    struct pmfs_inode* inode = pmalloc(struct pmfs_inode);
+    char* blockp = pmalloc(char, 64);
+    pmfs_symlink(inode, blockp);
+    return inode->i_size;
+}

@@ -1,0 +1,47 @@
+/* The paper's Figures 5 and 7: PM-Invaders-style performance bugs.
+ *  - pi_task_construct persists a whole 256-byte task for one field;
+ *  - the timer path runs a durable transaction with no persistent write.
+ *
+ *   deepmc check examples/programs/pminvaders.c
+ */
+#pragma persistency(strict)
+
+struct alien {
+    long timer;
+    long y;
+};
+
+struct pi_task {
+    long proto;
+    long pad[31];
+};
+
+void pi_task_construct(struct pi_task* t) {
+    t->proto = 99;
+    pmem_persist(t, sizeof(struct pi_task));   /* Figure 5 (line 21) */
+}
+
+long timer_tick(struct alien* a) {
+    tx_begin();                                /* Figure 7 (line 25) */
+    long expired = a->timer == 0;
+    tx_end();
+    return expired;
+}
+
+void process_aliens(struct alien* a) {
+    if (timer_tick(a)) {
+        tx_begin();
+        tx_add(a, 16);
+        a->timer = 100;
+        a->y = a->y + 1;
+        tx_end();
+    }
+}
+
+long main(void) {
+    struct alien* a = pmalloc(struct alien);
+    struct pi_task* t = pmalloc(struct pi_task);
+    pi_task_construct(t);
+    process_aliens(a);
+    return a->timer + t->proto;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Strand persistency and the dynamic checker (§4.4).
+
+Two worker threads append to a persistent log, each append wrapped in a
+strand region. With both workers sharing one tail counter the strands have
+a WAW dependence — DeepMC's instrumented runtime catches it via
+happens-before race detection over shadow memory. Partitioned logs (the
+fix) run clean under the same schedules.
+
+Run:  python examples/strand_race_detection.py
+"""
+
+from repro.dynamic import DynamicChecker
+from repro.ir import IRBuilder, Module, REGION_STRAND, types as ty, verify_module
+
+
+def build_logger(shared_tail: bool) -> Module:
+    mod = Module("strand_logger", persistency_model="strand")
+    log_t = mod.define_struct(
+        "pm_log", [("tail", ty.I64), ("slots", ty.ArrayType(ty.I64, 16))]
+    )
+    log_p = ty.pointer_to(log_t)
+
+    worker = mod.define_function(
+        "log_append", ty.VOID, [("log", log_p), ("value", ty.I64)],
+        source_file="logger.c",
+    )
+    b = IRBuilder(worker)
+    b.txbegin(REGION_STRAND, label="append", line=10)
+    tf = b.getfield(worker.arg("log"), "tail", line=11)
+    t = b.load(tf, line=11)
+    slots = b.getfield(worker.arg("log"), "slots", line=12)
+    slot = b.getelem(slots, t, line=12)
+    b.store(worker.arg("value"), slot, line=12)
+    t2 = b.add(t, 1, line=13)
+    b.store(t2, tf, line=13)          # tail update: the shared hot word
+    b.flush(worker.arg("log"), log_t.size(), line=14)
+    b.txend(REGION_STRAND, line=15)
+    b.fence(line=16)
+    b.ret(line=17)
+
+    main = mod.define_function("main", ty.VOID, [], source_file="logger.c")
+    b = IRBuilder(main)
+    log1 = b.palloc(log_t, line=30)
+    log2 = log1 if shared_tail else b.palloc(log_t, line=31)
+    t1 = b.spawn(worker, [log1, b.const(111)], line=33)
+    t2 = b.spawn(worker, [log2, b.const(222)], line=34)
+    b.join(t1, line=35)
+    b.join(t2, line=36)
+    b.ret(line=37)
+    verify_module(mod)
+    return mod
+
+
+def main() -> None:
+    print("1. Two threads, ONE shared log (WAW between strands):")
+    checker = DynamicChecker(build_logger(shared_tail=True))
+    print(f"   instrumenter inserted {checker.hooks_inserted} runtime hooks")
+    report, runs = checker.run(seeds=(1, 2, 3, 4))
+    for w in report.warnings()[:4]:
+        print(f"   {w.render()}")
+    races = sum(len(r.runtime.races) for r in runs)
+    print(f"   -> {len(report)} unique warning site(s), "
+          f"{races} race observations across 4 schedules")
+    assert len(report) >= 1
+
+    print("\n2. Same code, partitioned logs (no dependence):")
+    checker = DynamicChecker(build_logger(shared_tail=False))
+    report, runs = checker.run(seeds=(1, 2, 3, 4))
+    print(f"   -> {len(report)} warnings")
+    assert len(report) == 0
+
+    shadow_words = runs[-1].runtime.shadow.total_words()
+    print(f"\nShadow-memory footprint: {shadow_words} words "
+          f"(§5.2: scales with persistent data, not total memory)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Static analyses: CFG, call graph, DSA/DSG, symbolic ranges, traces."""
+
+from .callgraph import CallGraph
+from .cfg import CFG
+from .dsa import DSAResult, run_dsa
+from .ranges import MemRange, SymOffset, TriBool, union_size
+from .traces import (
+    EV_FENCE,
+    EV_FLUSH,
+    EV_LOAD,
+    EV_SPAWN,
+    EV_TXADD,
+    EV_TXBEGIN,
+    EV_TXEND,
+    EV_WRITE,
+    Event,
+    Trace,
+    TraceCollector,
+)
+
+__all__ = [
+    "CFG",
+    "CallGraph",
+    "DSAResult",
+    "EV_FENCE",
+    "EV_FLUSH",
+    "EV_LOAD",
+    "EV_SPAWN",
+    "EV_TXADD",
+    "EV_TXBEGIN",
+    "EV_TXEND",
+    "EV_WRITE",
+    "Event",
+    "MemRange",
+    "SymOffset",
+    "Trace",
+    "TraceCollector",
+    "TriBool",
+    "run_dsa",
+    "union_size",
+]

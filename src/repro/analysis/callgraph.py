@@ -1,0 +1,114 @@
+"""Call graph construction and post-order traversal.
+
+DeepMC traverses the call graph in post-order — callees before callers —
+both in the DSA bottom-up phase and when merging callee traces into call
+sites (§4.2, §4.3). Recursion shows up as SCCs; Tarjan's algorithm gives
+us the condensation so post-order is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..ir import instructions as ins
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+class CallGraph:
+    """Name-keyed call graph of a module.
+
+    Edges lead only to functions *defined* in the module; annotated
+    framework entry points and builtins are summarized by the annotation
+    registry instead of being traversed.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+        self.call_sites: Dict[str, List[ins.Instruction]] = {}
+        for fn in module.defined_functions():
+            self.callees.setdefault(fn.name, set())
+            self.callers.setdefault(fn.name, set())
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                if isinstance(inst, (ins.Call, ins.Spawn)):
+                    target = inst.callee
+                    self.call_sites.setdefault(fn.name, []).append(inst)
+                    callee_fn = module.get_function(target)
+                    if callee_fn is not None and not callee_fn.is_declaration():
+                        self.callees[fn.name].add(target)
+                        self.callers.setdefault(target, set()).add(fn.name)
+
+    # -- SCC condensation ----------------------------------------------------
+    def sccs(self) -> List[List[str]]:
+        """Tarjan SCCs, returned in reverse topological order
+        (callee SCCs before caller SCCs)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan to dodge recursion limits on deep graphs.
+            work = [(v, iter(sorted(self.callees.get(v, ()))))]
+            index[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = lowlink[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(self.callees.get(w, ())))))
+                        advanced = True
+                        break
+                    elif w in on_stack:
+                        lowlink[node] = min(lowlink[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    result.append(comp)
+
+        for name in sorted(self.callees):
+            if name not in index:
+                strongconnect(name)
+        return result
+
+    def post_order(self) -> List[str]:
+        """Function names, callees before callers (SCC members adjacent)."""
+        order: List[str] = []
+        for comp in self.sccs():
+            order.extend(sorted(comp))
+        return order
+
+    def is_recursive(self, name: str) -> bool:
+        for comp in self.sccs():
+            if name in comp:
+                return len(comp) > 1 or name in self.callees.get(name, ())
+        return False
+
+    def roots(self) -> List[str]:
+        """Functions nobody in the module calls (analysis entry points)."""
+        return sorted(
+            n for n in self.callees if not self.callers.get(n)
+        )

@@ -1,0 +1,124 @@
+"""Control-flow graph utilities over IR functions.
+
+Basic blocks already carry successor labels; this module adds the derived
+structure DeepMC's trace collector needs: predecessor maps, reverse
+post-order, reachability, loop-header detection (back edges), and simple
+iterative dominators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AnalysisError
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+class CFG:
+    """Derived control-flow structure of one function."""
+
+    def __init__(self, fn: Function):
+        if fn.is_declaration():
+            raise AnalysisError(f"cannot build CFG of declaration @{fn.name}")
+        self.fn = fn
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {}
+        for block in fn.blocks:
+            self.succs[block.label] = list(block.successors_labels())
+            self.preds.setdefault(block.label, [])
+        for label, targets in self.succs.items():
+            for t in targets:
+                self.preds.setdefault(t, []).append(label)
+        self._rpo: Optional[List[str]] = None
+        self._back_edges: Optional[Set[Tuple[str, str]]] = None
+
+    # -- orderings ---------------------------------------------------------
+    def reverse_post_order(self) -> List[str]:
+        if self._rpo is None:
+            seen: Set[str] = set()
+            order: List[str] = []
+
+            def dfs(label: str) -> None:
+                stack = [(label, iter(self.succs.get(label, ())))]
+                seen.add(label)
+                while stack:
+                    node, it = stack[-1]
+                    advanced = False
+                    for nxt in it:
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            stack.append((nxt, iter(self.succs.get(nxt, ()))))
+                            advanced = True
+                            break
+                    if not advanced:
+                        order.append(node)
+                        stack.pop()
+
+            dfs(self.fn.entry.label)
+            order.reverse()
+            self._rpo = order
+        return list(self._rpo)
+
+    def reachable(self) -> Set[str]:
+        return set(self.reverse_post_order())
+
+    # -- loops -----------------------------------------------------------------
+    def back_edges(self) -> Set[Tuple[str, str]]:
+        """Edges (src, dst) where dst is an ancestor in the DFS tree."""
+        if self._back_edges is None:
+            edges: Set[Tuple[str, str]] = set()
+            color: Dict[str, int] = {}  # 0 white, 1 grey, 2 black
+
+            def dfs(label: str) -> None:
+                stack: List[Tuple[str, int]] = [(label, 0)]
+                color[label] = 1
+                while stack:
+                    node, i = stack[-1]
+                    targets = self.succs.get(node, [])
+                    if i < len(targets):
+                        stack[-1] = (node, i + 1)
+                        nxt = targets[i]
+                        c = color.get(nxt, 0)
+                        if c == 1:
+                            edges.add((node, nxt))
+                        elif c == 0:
+                            color[nxt] = 1
+                            stack.append((nxt, 0))
+                    else:
+                        color[node] = 2
+                        stack.pop()
+
+            dfs(self.fn.entry.label)
+            self._back_edges = edges
+        return set(self._back_edges)
+
+    def loop_headers(self) -> Set[str]:
+        return {dst for _src, dst in self.back_edges()}
+
+    # -- dominators ----------------------------------------------------------------
+    def dominators(self) -> Dict[str, Set[str]]:
+        """Classic iterative dataflow dominators (fine at our CFG sizes)."""
+        rpo = self.reverse_post_order()
+        all_nodes = set(rpo)
+        dom: Dict[str, Set[str]] = {n: set(all_nodes) for n in rpo}
+        entry = self.fn.entry.label
+        dom[entry] = {entry}
+        changed = True
+        while changed:
+            changed = False
+            for n in rpo:
+                if n == entry:
+                    continue
+                preds = [p for p in self.preds.get(n, []) if p in all_nodes]
+                if not preds:
+                    new = {n}
+                else:
+                    new = set.intersection(*(dom[p] for p in preds)) | {n}
+                if new != dom[n]:
+                    dom[n] = new
+                    changed = True
+        return dom
+
+    def block(self, label: str) -> BasicBlock:
+        return self.fn.block(label)

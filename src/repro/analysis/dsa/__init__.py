@@ -1,0 +1,74 @@
+"""Data Structure Analysis pipeline (local → bottom-up → top-down).
+
+Usage::
+
+    result = run_dsa(module)
+    g = result.graph("nvm_lock")
+    cell = g.cell_of(some_pointer_value)
+    cell.node.persistent   # allocated from NVM?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...ir.module import Module
+from ..callgraph import CallGraph
+from .graph import Cell, DSGraph, DSNode, F_COLLAPSED, F_HEAP, F_PHEAP, F_STACK, F_UNKNOWN
+from .interproc import bottom_up, top_down
+from .local import CallSiteInfo, LocalBuilder, build_local_graphs
+
+
+@dataclass
+class DSAResult:
+    """All per-function DSGs after the three phases."""
+
+    module: Module
+    callgraph: CallGraph
+    graphs: Dict[str, DSGraph]
+    calls: Dict[str, List[CallSiteInfo]]
+
+    def graph(self, fn_name: str) -> DSGraph:
+        return self.graphs[fn_name]
+
+    def stats(self) -> Dict[str, int]:
+        nodes = sum(len(g.all_representatives()) for g in self.graphs.values())
+        persistent = sum(len(g.persistent_nodes()) for g in self.graphs.values())
+        return {
+            "functions": len(self.graphs),
+            "nodes": nodes,
+            "persistent_nodes": persistent,
+        }
+
+
+def run_dsa(module: Module, interprocedural: bool = True) -> DSAResult:
+    """Run the DSA over a module.
+
+    ``interprocedural=False`` stops after the local phase (no bottom-up
+    cloning, no top-down flag propagation) — the ablation that shows why
+    §4.2's interprocedural phases matter.
+    """
+    cg = CallGraph(module)
+    graphs, calls = build_local_graphs(module)
+    if interprocedural:
+        bottom_up(module, cg, graphs, calls)
+        top_down(module, cg, graphs, calls)
+    return DSAResult(module, cg, graphs, calls)
+
+
+__all__ = [
+    "Cell",
+    "CallSiteInfo",
+    "DSAResult",
+    "DSGraph",
+    "DSNode",
+    "F_COLLAPSED",
+    "F_HEAP",
+    "F_PHEAP",
+    "F_STACK",
+    "F_UNKNOWN",
+    "LocalBuilder",
+    "build_local_graphs",
+    "run_dsa",
+]

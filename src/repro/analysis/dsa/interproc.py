@@ -1,0 +1,165 @@
+"""DSA phases 2 and 3: bottom-up and top-down analysis.
+
+Bottom-up (§4.2): the call graph is traversed in post-order; at every call
+site the callee's graph is *cloned* into the caller (heap cloning — this
+is what makes the analysis context-sensitive) and the cloned argument /
+return cells are unified with the actual ones. The clone maps are kept:
+the trace collector uses them to translate callee-trace events into caller
+node space when merging traces at call sites (Figure 11).
+
+Top-down: caller knowledge flows back into callees — most importantly the
+``pheap`` (persistent) flag, so a callee that writes through a pointer
+argument learns the object lives in NVM, exactly like ``mutex`` in the
+paper's Figure 10 walk-through.
+
+Recursive call sites (same SCC) skip cloning and unify directly against
+the callee's own nodes: context sensitivity is sacrificed only inside
+recursion cycles, mirroring DeepMC's bounded treatment of recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...ir.module import Module
+from ..callgraph import CallGraph
+from ..ranges import SymOffset
+from .graph import Cell, DSGraph, DSNode, F_COLLAPSED, F_HEAP, F_PHEAP, F_STACK
+from .local import CallSiteInfo
+
+#: Flags propagated from callers into callees during top-down.
+_TOP_DOWN_FLAGS = (F_PHEAP, F_HEAP, F_STACK)
+
+
+def _clone_graph_into(
+    src: DSGraph, dst: DSGraph
+) -> Dict[int, DSNode]:
+    """Copy every representative node of ``src`` into ``dst``.
+
+    Returns the clone map: source representative node_id -> cloned node.
+    """
+    mapping: Dict[int, DSNode] = {}
+    reps = src.all_representatives()
+    for rep in reps:
+        clone = dst.new_node(rep.flags, rep.elem_type)
+        clone.alloc_sites = set(rep.alloc_sites)
+        mapping[rep.node_id] = clone
+    for rep in reps:
+        clone = mapping[rep.node_id]
+        for off, cell in rep.edges.items():
+            tgt = cell.resolved()
+            clone.edges[off] = Cell(mapping[tgt.node.node_id], tgt.offset)
+    return mapping
+
+
+def _map_cell(mapping: Dict[int, DSNode], cell: Optional[Cell]) -> Optional[Cell]:
+    if cell is None:
+        return None
+    resolved = cell.resolved()
+    mapped = mapping.get(resolved.node.node_id)
+    if mapped is None:
+        return None
+    return Cell(mapped, resolved.offset)
+
+
+def bottom_up(
+    module: Module,
+    cg: CallGraph,
+    graphs: Dict[str, DSGraph],
+    calls: Dict[str, List[CallSiteInfo]],
+) -> None:
+    """Inline callee graphs at call sites, callees first."""
+    scc_of: Dict[str, int] = {}
+    for i, comp in enumerate(cg.sccs()):
+        for name in comp:
+            scc_of[name] = i
+
+    for fn_name in cg.post_order():
+        caller_graph = graphs[fn_name]
+        for site in calls.get(fn_name, []):
+            callee_graph = graphs.get(site.callee)
+            if callee_graph is None:
+                continue
+            recursive = scc_of.get(site.callee) == scc_of.get(fn_name)
+            if recursive:
+                # Share nodes directly: unify actuals with callee formals.
+                mapping = {
+                    n.node_id: n for n in callee_graph.all_representatives()
+                }
+                _bind(caller_graph, callee_graph, mapping, site, shared=True)
+            else:
+                mapping = _clone_graph_into(callee_graph, caller_graph)
+                _bind(caller_graph, callee_graph, mapping, site, shared=False)
+            caller_graph.call_clone_maps[id(site.inst)] = mapping
+
+
+def _bind(
+    caller_graph: DSGraph,
+    callee_graph: DSGraph,
+    mapping: Dict[int, DSNode],
+    site: CallSiteInfo,
+    shared: bool,
+) -> None:
+    """Unify cloned formal cells with actual cells at one call site."""
+    for actual, formal in zip(site.arg_cells, callee_graph.arg_cells):
+        if actual is None or formal is None:
+            continue
+        cloned = _map_cell(mapping, formal)
+        if cloned is None:
+            continue
+        caller_graph.unify(actual.node, cloned.node)
+    if site.result_value is not None and callee_graph.ret_cell is not None:
+        cloned_ret = _map_cell(mapping, callee_graph.ret_cell)
+        if cloned_ret is not None:
+            result_cell = caller_graph.cell_of(site.result_value)
+            caller_graph.unify(result_cell.node, cloned_ret.node)
+            # Re-point the result at the callee's return cell so offsets
+            # carried by the return value survive.
+            caller_graph.set_cell(
+                site.result_value, Cell(cloned_ret.node.find(), cloned_ret.offset)
+            )
+
+
+def top_down(
+    module: Module,
+    cg: CallGraph,
+    graphs: Dict[str, DSGraph],
+    calls: Dict[str, List[CallSiteInfo]],
+) -> None:
+    """Propagate caller facts (persistence!) into callee graphs.
+
+    Flags only ever grow, so iterating to a fixpoint terminates; the bound
+    is a safety net for pathological graphs.
+    """
+    order = list(reversed(cg.post_order()))  # callers before callees
+    for _round in range(16):
+        changed = False
+        for fn_name in order:
+            caller_graph = graphs.get(fn_name)
+            if caller_graph is None:
+                continue
+            for site in calls.get(fn_name, []):
+                callee_graph = graphs.get(site.callee)
+                if callee_graph is None:
+                    continue
+                mapping = caller_graph.call_clone_maps.get(id(site.inst))
+                if not mapping:
+                    continue
+                index = {
+                    n.node_id: n for n in callee_graph.nodes
+                }
+                for callee_id, caller_node in mapping.items():
+                    callee_node = index.get(callee_id)
+                    if callee_node is None:
+                        continue
+                    callee_rep = callee_node.find()
+                    caller_rep = caller_node.find()
+                    for flag in _TOP_DOWN_FLAGS:
+                        if flag in caller_rep.flags and flag not in callee_rep.flags:
+                            callee_rep.flags.add(flag)
+                            changed = True
+                    if callee_rep.elem_type is None and caller_rep.elem_type is not None:
+                        callee_rep.elem_type = caller_rep.elem_type
+                        changed = True
+        if not changed:
+            return

@@ -1,0 +1,36 @@
+"""Real-application workloads (Table 6): Memcached, Redis, NStore."""
+
+from typing import Callable, Dict, List
+
+from ..ir.module import Module
+from .memcached import build_memcached
+from .nstore import build_nstore
+from .redis import build_redis
+from .workloads import (
+    ALL_MIXES,
+    MEMCACHED_MIXES,
+    REDIS_MIXES,
+    YCSB_MIXES,
+    Mix,
+    mix,
+)
+
+#: app name -> builder(mix) -> Module with entry main(ops)
+APP_BUILDERS: Dict[str, Callable[[Mix], Module]] = {
+    "memcached": build_memcached,
+    "redis": build_redis,
+    "nstore": build_nstore,
+}
+
+__all__ = [
+    "ALL_MIXES",
+    "APP_BUILDERS",
+    "MEMCACHED_MIXES",
+    "Mix",
+    "REDIS_MIXES",
+    "YCSB_MIXES",
+    "build_memcached",
+    "build_nstore",
+    "build_redis",
+    "mix",
+]

@@ -1,0 +1,67 @@
+"""Shared IR driver-loop emitter for the applications.
+
+Builds ``main(ops)``: a loop that draws a random number per iteration and
+dispatches to one of the app's operation emitters according to the mix
+weights. Everything executes in IR on the interpreter, so instrumentation
+overhead (Fig. 12) is measured on real executed work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ReproError
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.values import Value
+from ..corpus.util import counted_loop, if_then_else
+from .workloads import Mix
+
+#: an operation emitter: (builder, random key value, op counter value) -> None
+OpEmitter = Callable[[IRBuilder, Value, Value], None]
+
+
+def emit_driver_loop(
+    b: IRBuilder,
+    main: Function,
+    mix: Mix,
+    emitters: Dict[str, OpEmitter],
+    key_space: int = 256,
+    line: int = 900,
+) -> None:
+    """Emit the per-op dispatch loop into ``main`` (positioned builder)."""
+    missing = [op for op in mix.ops() if mix.weight(op) > 0 and op not in emitters]
+    if missing:
+        raise ReproError(f"mix {mix.name!r} needs unimplemented ops: {missing}")
+
+    opcount = b.alloca(ty.I64, line=line)
+    b.store(0, opcount, line=line)
+
+    weighted = [(op, w) for op, w in mix.weights if w > 0]
+
+    def body(b: IRBuilder, _iv) -> None:
+        r = b.call("rand", [b.const(100)], ret_type=ty.I64, line=line + 1)
+        key = b.call("rand", [b.const(key_space)], ret_type=ty.I64, line=line + 2)
+        count = b.load(opcount, line=line + 3)
+
+        def dispatch(b: IRBuilder, remaining: List, threshold: int) -> None:
+            op, weight = remaining[0]
+            if len(remaining) == 1:
+                emitters[op](b, key, count)
+                return
+            cond = b.icmp("slt", r, threshold + weight, line=line + 4)
+            if_then_else(
+                b,
+                cond,
+                lambda bb: emitters[op](bb, key, count),
+                lambda bb: dispatch(bb, remaining[1:], threshold + weight),
+                line=line + 4,
+            )
+
+        dispatch(b, weighted, 0)
+        c2 = b.load(opcount, line=line + 8)
+        inc = b.add(c2, 1, line=line + 8)
+        b.store(inc, opcount, line=line + 8)
+
+    counted_loop(b, main.arg("ops"), body, line=line)

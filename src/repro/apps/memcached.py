@@ -1,0 +1,122 @@
+"""Persistent Memcached on mini-Mnemosyne (Table 6 row 1).
+
+A fixed-size open-addressed hash table whose mutating operations run in
+Mnemosyne atomic blocks (durable transactions under epoch persistency),
+mirroring the persistent-Memcached port the paper benchmarks with memslap.
+"""
+
+from __future__ import annotations
+
+from ..frameworks import Mnemosyne
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .driver import emit_driver_loop
+from .workloads import Mix
+
+TABLE_SIZE = 256
+
+
+def build_memcached(mix: Mix, table_size: int = TABLE_SIZE,
+                    clients: int = 1) -> Module:
+    """Build the memcached module for one workload mix; entry: main(ops).
+
+    ``clients > 1`` spawns memslap-style concurrent client threads over a
+    sharded keyspace (the paper's memslap setup uses 4 clients).
+    """
+    mod = Module(f"memcached[{mix.name}]", persistency_model="epoch")
+    mtm = Mnemosyne(mod)
+    entry_t = mod.define_struct("mc_entry", [("key", ty.I64), ("value", ty.I64)])
+    entry_p = ty.pointer_to(entry_t)
+    SRC = "memcached_pm.c"
+
+    # -- mc_set: transactional insert/update ------------------------------
+    set_fn = mod.define_function(
+        "mc_set", ty.VOID,
+        [("table", entry_p), ("key", ty.I64), ("value", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(set_fn)
+    idx = b.binop("srem", set_fn.arg("key"), b.const(table_size), line=40)
+    e = b.getelem(set_fn.arg("table"), idx, line=41)
+    mtm.atomic_begin(b, line=42)
+    kf = b.getfield(e, "key", line=43)
+    mtm.tm_store(b, kf, set_fn.arg("key"), line=43)
+    vf = b.getfield(e, "value", line=44)
+    mtm.tm_store(b, vf, set_fn.arg("value"), line=44)
+    mtm.atomic_end(b, line=45)
+    b.ret()
+
+    # -- mc_get: lock-free read -------------------------------------------
+    get_fn = mod.define_function(
+        "mc_get", ty.I64, [("table", entry_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(get_fn)
+    idx = b.binop("srem", get_fn.arg("key"), b.const(table_size), line=60)
+    e = b.getelem(get_fn.arg("table"), idx, line=61)
+    vf = b.getfield(e, "value", line=62)
+    v = b.load(vf, line=62)
+    b.ret(v, line=63)
+
+    # -- mc_rmw: read-modify-write (memslap's "rmw" op) --------------------
+    rmw_fn = mod.define_function(
+        "mc_rmw", ty.VOID, [("table", entry_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(rmw_fn)
+    old = b.call(get_fn, [rmw_fn.arg("table"), rmw_fn.arg("key")], line=80)
+    bumped = b.add(old, 1, line=81)
+    b.call(set_fn, [rmw_fn.arg("table"), rmw_fn.arg("key"), bumped], line=82)
+    b.ret()
+
+    # -- client(table, ops, shard): one memslap connection ------------------
+    # Clients shard the keyspace (as memslap does with distinct key
+    # prefixes), so concurrent clients never collide on a bucket.
+    shard = table_size // max(clients, 1)
+    client = mod.define_function(
+        "mc_client", ty.I64,
+        [("table", entry_p), ("ops", ty.I64), ("base", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(client)
+    base = client.arg("base")
+
+    def shard_key(bb, key):
+        off = bb.binop("srem", key, bb.const(max(shard, 1)), line=904)
+        return bb.add(base, off, line=904)
+
+    emitters = {
+        "read": lambda bb, key, _c: bb.call(
+            get_fn, [client.arg("table"), shard_key(bb, key)], line=905),
+        "update": lambda bb, key, _c: bb.call(
+            set_fn, [client.arg("table"), shard_key(bb, key),
+                     bb.add(key, 7, line=906)], line=906),
+        "insert": lambda bb, _key, c: bb.call(
+            set_fn, [client.arg("table"),
+                     shard_key(bb, c), bb.const(1)], line=907),
+        "rmw": lambda bb, key, _c: bb.call(
+            rmw_fn, [client.arg("table"), shard_key(bb, key)], line=908),
+    }
+    emit_driver_loop(b, client, mix, emitters, key_space=table_size)
+    b.ret(0, line=920)
+
+    # -- main(ops): spawn the clients, split the op budget -------------------
+    main = mod.define_function("main", ty.I64, [("ops", ty.I64)],
+                               source_file=SRC)
+    b = IRBuilder(main)
+    table = b.palloc(entry_t, table_size, line=100)
+    per_client = b.binop("sdiv", main.arg("ops"),
+                         b.const(max(clients, 1)), line=101)
+    if clients <= 1:
+        b.call(client, [table, main.arg("ops"), b.const(0)], line=102)
+    else:
+        tids = []
+        for i in range(clients):
+            tids.append(b.spawn(
+                client, [table, per_client, b.const(i * shard)],
+                line=103 + i))
+        for i, t in enumerate(tids):
+            b.join(t, line=110 + i)
+    b.ret(0, line=990)
+    return mod

@@ -1,0 +1,126 @@
+"""NStore: a transactional storage engine on raw persistence primitives
+(Table 6 row 3 — "low-level implts").
+
+Tuples live in a persistent slot array; every mutation follows strict
+per-write flush+fence discipline directly (no framework), the way NStore's
+NVM engines issue clwb/sfence themselves. YCSB drives it.
+"""
+
+from __future__ import annotations
+
+from ..corpus.util import counted_loop
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .driver import emit_driver_loop
+from .workloads import Mix
+
+TABLE_SIZE = 256
+SCAN_LEN = 8
+
+
+def build_nstore(mix: Mix, table_size: int = TABLE_SIZE) -> Module:
+    """Build the nstore module for one YCSB mix; entry: main(ops)."""
+    mod = Module(f"nstore[{mix.name}]", persistency_model="strict")
+    tuple_t = mod.define_struct("ns_tuple", [("key", ty.I64), ("field", ty.I64)])
+    tuple_p = ty.pointer_to(tuple_t)
+    SRC = "nstore_pm.c"
+
+    # -- update: strict write→flush→fence per field -------------------------
+    update_fn = mod.define_function(
+        "ns_update", ty.VOID,
+        [("table", tuple_p), ("key", ty.I64), ("value", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(update_fn)
+    idx = b.binop("srem", update_fn.arg("key"), b.const(table_size), line=30)
+    t = b.getelem(update_fn.arg("table"), idx, line=31)
+    ff = b.getfield(t, "field", line=32)
+    b.store(update_fn.arg("value"), ff, line=32)
+    b.flush(ff, 8, line=33)
+    b.fence(line=34)
+    b.ret()
+
+    # -- insert: key then payload, each persisted in program order ----------
+    insert_fn = mod.define_function(
+        "ns_insert", ty.VOID,
+        [("table", tuple_p), ("key", ty.I64), ("value", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(insert_fn)
+    idx = b.binop("srem", insert_fn.arg("key"), b.const(table_size), line=50)
+    t = b.getelem(insert_fn.arg("table"), idx, line=51)
+    kf = b.getfield(t, "key", line=52)
+    b.store(insert_fn.arg("key"), kf, line=52)
+    b.flush(kf, 8, line=53)
+    b.fence(line=53)
+    ff = b.getfield(t, "field", line=54)
+    b.store(insert_fn.arg("value"), ff, line=54)
+    b.flush(ff, 8, line=55)
+    b.fence(line=55)
+    b.ret()
+
+    # -- read -----------------------------------------------------------------
+    read_fn = mod.define_function(
+        "ns_read", ty.I64, [("table", tuple_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(read_fn)
+    idx = b.binop("srem", read_fn.arg("key"), b.const(table_size), line=70)
+    t = b.getelem(read_fn.arg("table"), idx, line=71)
+    ff = b.getfield(t, "field", line=72)
+    v = b.load(ff, line=72)
+    b.ret(v, line=73)
+
+    # -- scan: YCSB-E range read ------------------------------------------------
+    scan_fn = mod.define_function(
+        "ns_scan", ty.I64, [("table", tuple_p), ("start", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(scan_fn)
+    acc = b.alloca(ty.I64, line=90)
+    b.store(0, acc, line=90)
+
+    def scan_body(b: IRBuilder, iv) -> None:
+        pos = b.add(scan_fn.arg("start"), iv, line=92)
+        idx = b.binop("srem", pos, b.const(table_size), line=92)
+        t = b.getelem(scan_fn.arg("table"), idx, line=93)
+        ff = b.getfield(t, "field", line=93)
+        v = b.load(ff, line=93)
+        cur = b.load(acc, line=94)
+        b.store(b.add(cur, v, line=94), acc, line=94)
+
+    counted_loop(b, SCAN_LEN, scan_body, line=91)
+    total = b.load(acc, line=96)
+    b.ret(total, line=96)
+
+    # -- rmw ----------------------------------------------------------------------
+    rmw_fn = mod.define_function(
+        "ns_rmw", ty.VOID, [("table", tuple_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(rmw_fn)
+    old = b.call(read_fn, [rmw_fn.arg("table"), rmw_fn.arg("key")], line=110)
+    b.call(update_fn,
+           [rmw_fn.arg("table"), rmw_fn.arg("key"), b.add(old, 1, line=111)],
+           line=111)
+    b.ret()
+
+    # -- main(ops): YCSB client loop -------------------------------------------
+    main = mod.define_function("main", ty.I64, [("ops", ty.I64)],
+                               source_file=SRC)
+    b = IRBuilder(main)
+    table = b.palloc(tuple_t, table_size, line=200)
+
+    emitters = {
+        "read": lambda bb, key, _c: bb.call(read_fn, [table, key], line=905),
+        "update": lambda bb, key, _c: bb.call(
+            update_fn, [table, key, bb.add(key, 9, line=906)], line=906),
+        "insert": lambda bb, _key, c: bb.call(
+            insert_fn, [table, c, bb.const(1)], line=907),
+        "scan": lambda bb, key, _c: bb.call(scan_fn, [table, key], line=908),
+        "rmw": lambda bb, key, _c: bb.call(rmw_fn, [table, key], line=909),
+    }
+    emit_driver_loop(b, main, mix, emitters, key_space=table_size)
+    b.ret(0, line=990)
+    return mod

@@ -1,0 +1,135 @@
+"""Persistent Redis on mini-PMDK (Table 6 row 2).
+
+A keyspace hash table plus a persistent ring list, with every mutation in
+a PMDK durable transaction (strict persistency). The redis-benchmark
+commands SET/GET/INCR/LPUSH/LPOP map onto these structures.
+"""
+
+from __future__ import annotations
+
+from ..frameworks import PMDK
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .driver import emit_driver_loop
+from .workloads import Mix
+
+TABLE_SIZE = 256
+RING_SIZE = 128
+
+
+def build_redis(mix: Mix, table_size: int = TABLE_SIZE) -> Module:
+    """Build the redis module for one workload mix; entry: main(ops)."""
+    mod = Module(f"redis[{mix.name}]", persistency_model="strict")
+    pmdk = PMDK(mod)
+    entry_t = mod.define_struct("rd_entry", [("key", ty.I64), ("value", ty.I64)])
+    list_t = mod.define_struct("rd_list", [("count", ty.I64)])
+    entry_p = ty.pointer_to(entry_t)
+    list_p = ty.pointer_to(list_t)
+    slot_p = ty.pointer_to(ty.I64)
+    SRC = "redis_pm.c"
+
+    # -- SET ----------------------------------------------------------------
+    set_fn = mod.define_function(
+        "rd_set", ty.VOID,
+        [("table", entry_p), ("key", ty.I64), ("value", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(set_fn)
+    idx = b.binop("srem", set_fn.arg("key"), b.const(table_size), line=50)
+    e = b.getelem(set_fn.arg("table"), idx, line=51)
+    pmdk.tx_begin(b, line=52)
+    pmdk.tx_add(b, e, entry_t.size(), line=53)
+    kf = b.getfield(e, "key", line=54)
+    b.store(set_fn.arg("key"), kf, line=54)
+    vf = b.getfield(e, "value", line=55)
+    b.store(set_fn.arg("value"), vf, line=55)
+    pmdk.tx_end(b, line=56)
+    b.ret()
+
+    # -- GET ----------------------------------------------------------------
+    get_fn = mod.define_function(
+        "rd_get", ty.I64, [("table", entry_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(get_fn)
+    idx = b.binop("srem", get_fn.arg("key"), b.const(table_size), line=70)
+    e = b.getelem(get_fn.arg("table"), idx, line=71)
+    vf = b.getfield(e, "value", line=72)
+    v = b.load(vf, line=72)
+    b.ret(v, line=73)
+
+    # -- INCR ----------------------------------------------------------------
+    incr_fn = mod.define_function(
+        "rd_incr", ty.VOID, [("table", entry_p), ("key", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(incr_fn)
+    idx = b.binop("srem", incr_fn.arg("key"), b.const(table_size), line=90)
+    e = b.getelem(incr_fn.arg("table"), idx, line=91)
+    vf = b.getfield(e, "value", line=92)
+    pmdk.tx_begin(b, line=93)
+    pmdk.tx_add(b, vf, 8, line=94)
+    v = b.load(vf, line=95)
+    v2 = b.add(v, 1, line=95)
+    b.store(v2, vf, line=95)
+    pmdk.tx_end(b, line=96)
+    b.ret()
+
+    # -- LPUSH / LPOP over a persistent ring ----------------------------------
+    lpush_fn = mod.define_function(
+        "rd_lpush", ty.VOID,
+        [("lst", list_p), ("ring", slot_p), ("value", ty.I64)],
+        source_file=SRC,
+    )
+    b = IRBuilder(lpush_fn)
+    cf = b.getfield(lpush_fn.arg("lst"), "count", line=110)
+    pmdk.tx_begin(b, line=111)
+    pmdk.tx_add(b, cf, 8, line=112)
+    c = b.load(cf, line=113)
+    pos = b.binop("srem", c, b.const(RING_SIZE), line=113)
+    slot = b.getelem(lpush_fn.arg("ring"), pos, line=114)
+    pmdk.tx_add(b, slot, 8, line=114)
+    b.store(lpush_fn.arg("value"), slot, line=115)
+    c2 = b.add(c, 1, line=116)
+    b.store(c2, cf, line=116)
+    pmdk.tx_end(b, line=117)
+    b.ret()
+
+    lpop_fn = mod.define_function(
+        "rd_lpop", ty.I64, [("lst", list_p), ("ring", slot_p)],
+        source_file=SRC,
+    )
+    b = IRBuilder(lpop_fn)
+    cf = b.getfield(lpop_fn.arg("lst"), "count", line=130)
+    pmdk.tx_begin(b, line=131)
+    pmdk.tx_add(b, cf, 8, line=132)
+    c = b.load(cf, line=133)
+    has = b.icmp("sgt", c, 0, line=133)
+    dec = b.binop("sub", c, b.cast(has, ty.I64, line=134), line=134)
+    b.store(dec, cf, line=134)
+    pos = b.binop("srem", dec, b.const(RING_SIZE), line=135)
+    slot = b.getelem(lpop_fn.arg("ring"), pos, line=135)
+    v = b.load(slot, line=136)
+    pmdk.tx_end(b, line=137)
+    b.ret(v, line=138)
+
+    # -- main(ops): redis-benchmark-style client loop --------------------------
+    main = mod.define_function("main", ty.I64, [("ops", ty.I64)],
+                               source_file=SRC)
+    b = IRBuilder(main)
+    table = b.palloc(entry_t, table_size, line=200)
+    lst = b.palloc(list_t, line=201)
+    ring = b.palloc(ty.I64, RING_SIZE, line=202)
+
+    emitters = {
+        "set": lambda bb, key, _c: bb.call(
+            set_fn, [table, key, bb.add(key, 3, line=905)], line=905),
+        "get": lambda bb, key, _c: bb.call(get_fn, [table, key], line=906),
+        "incr": lambda bb, key, _c: bb.call(incr_fn, [table, key], line=907),
+        "lpush": lambda bb, key, _c: bb.call(lpush_fn, [lst, ring, key], line=908),
+        "lpop": lambda bb, _key, _c: bb.call(lpop_fn, [lst, ring], line=909),
+    }
+    emit_driver_loop(b, main, mix, emitters, key_space=table_size)
+    b.ret(0, line=990)
+    return mod

@@ -1,0 +1,87 @@
+"""Workload definitions for the application benchmarks (Table 6, Fig. 12).
+
+A :class:`Mix` is a weighted distribution over an application's operation
+names; the app builders compile it into an IR driver loop that picks an
+operation per iteration with the interpreter's deterministic PRNG.
+
+The concrete mixes reproduce the paper's §5.2 setups:
+
+* **memslap** (Memcached): 50%u/50%r, 5%u/95%r, 100%r, 5%i/95%r,
+  50%rmw/50%r;
+* **redis-benchmark** (Redis): the default single-command benchmarks
+  (SET, GET, INCR, LPUSH, LPOP);
+* **YCSB** (NStore): workloads A–E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Mix:
+    """A named operation mix; weights must sum to 100."""
+
+    name: str
+    weights: Tuple[Tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        total = sum(w for _, w in self.weights)
+        if total != 100:
+            raise ReproError(f"mix {self.name!r} weights sum to {total}, not 100")
+
+    def ops(self) -> List[str]:
+        return [op for op, _ in self.weights]
+
+    def weight(self, op: str) -> int:
+        for name, w in self.weights:
+            if name == op:
+                return w
+        return 0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that write NVM (drives Fig 12's shape)."""
+        writers = {"update", "insert", "rmw", "set", "incr", "lpush", "lpop"}
+        return sum(w for op, w in self.weights if op in writers) / 100.0
+
+
+def mix(name: str, **weights: int) -> Mix:
+    return Mix(name, tuple(sorted(weights.items())))
+
+
+#: Memcached / memslap mixes (Fig. 12 top; §5.2 list).
+MEMCACHED_MIXES: List[Mix] = [
+    mix("50%update-50%read", update=50, read=50),
+    mix("5%update-95%read", update=5, read=95),
+    mix("100%read", read=100),
+    mix("5%insert-95%read", insert=5, read=95),
+    mix("50%rmw-50%read", rmw=50, read=50),
+]
+
+#: Redis default benchmarks (Fig. 12 middle).
+REDIS_MIXES: List[Mix] = [
+    mix("SET", set=100),
+    mix("GET", get=100),
+    mix("INCR", incr=100),
+    mix("LPUSH", lpush=100),
+    mix("LPOP", lpop=100),
+]
+
+#: YCSB core workloads for NStore (Fig. 12 bottom).
+YCSB_MIXES: List[Mix] = [
+    mix("YCSB-A", update=50, read=50),
+    mix("YCSB-B", update=5, read=95),
+    mix("YCSB-C", read=100),
+    mix("YCSB-D", insert=5, read=95),
+    mix("YCSB-E", insert=5, scan=95),
+]
+
+ALL_MIXES: Dict[str, List[Mix]] = {
+    "memcached": MEMCACHED_MIXES,
+    "redis": REDIS_MIXES,
+    "nstore": YCSB_MIXES,
+}

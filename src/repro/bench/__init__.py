@@ -1,0 +1,57 @@
+"""Experiment harness: one function per paper table/figure."""
+
+from .detection import (
+    DetectionResult,
+    ProgramOutcome,
+    render_table1,
+    run_detection,
+)
+from .overhead import (
+    CompileTiming,
+    FixSpeedup,
+    OverheadPoint,
+    measure_compile_times,
+    measure_dynamic_overhead,
+    measure_figure12,
+    measure_fix_speedups,
+    render_figure12,
+    render_fix_speedups,
+    render_table9,
+)
+from .tables import (
+    new_bug_age_average,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    table2_counts,
+)
+
+__all__ = [
+    "CompileTiming",
+    "DetectionResult",
+    "FixSpeedup",
+    "OverheadPoint",
+    "ProgramOutcome",
+    "measure_compile_times",
+    "measure_dynamic_overhead",
+    "measure_figure12",
+    "measure_fix_speedups",
+    "new_bug_age_average",
+    "render_figure12",
+    "render_fix_speedups",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+    "render_table9",
+    "run_detection",
+    "table2_counts",
+]

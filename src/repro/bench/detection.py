@@ -1,0 +1,157 @@
+"""Detection experiment: run DeepMC over the whole corpus (§5.1, §5.3, §5.4).
+
+This is the measurement behind Tables 1, 2, 3 and 8: the static checker is
+*actually run* on every corpus program and its warnings are matched against
+the registry's ground truth (the reproduction's stand-in for the paper's
+manual validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..checker.engine import StaticChecker
+from ..checker.report import Warning_
+from ..corpus import REGISTRY
+from ..corpus.registry import (
+    ALL_CLASSES,
+    FRAMEWORK_DISPLAY,
+    FRAMEWORK_MODEL,
+    BugSpec,
+    CorpusProgram,
+)
+
+
+@dataclass
+class ProgramOutcome:
+    """Checker output vs ground truth for one corpus program."""
+
+    program: CorpusProgram
+    warnings: List[Warning_]
+    #: warnings matched to a ground-truth site (real or FP)
+    matched: List[Tuple[Warning_, BugSpec]]
+    unmatched_warnings: List[Warning_]
+    missed_bugs: List[BugSpec]
+
+    @property
+    def validated(self) -> List[BugSpec]:
+        return [b for _w, b in self.matched if b.real]
+
+    @property
+    def false_positives(self) -> List[BugSpec]:
+        return [b for _w, b in self.matched if not b.real]
+
+
+@dataclass
+class DetectionResult:
+    """Aggregated outcome across the corpus."""
+
+    outcomes: List[ProgramOutcome] = field(default_factory=list)
+
+    # -- aggregate counters -------------------------------------------------
+    @property
+    def total_warnings(self) -> int:
+        return sum(len(o.warnings) for o in self.outcomes)
+
+    @property
+    def total_validated(self) -> int:
+        return sum(len(o.validated) for o in self.outcomes)
+
+    @property
+    def total_false_positives(self) -> int:
+        return sum(len(o.false_positives) for o in self.outcomes)
+
+    @property
+    def false_positive_rate(self) -> float:
+        if not self.total_warnings:
+            return 0.0
+        return self.total_false_positives / self.total_warnings
+
+    def validated_bugs(self, studied: Optional[bool] = None) -> List[BugSpec]:
+        out = []
+        for o in self.outcomes:
+            for b in o.validated:
+                if studied is None or b.studied == studied:
+                    out.append(b)
+        return sorted(out, key=lambda b: (b.framework, b.file, b.line))
+
+    def missed(self) -> List[BugSpec]:
+        return [b for o in self.outcomes for b in o.missed_bugs]
+
+    def unmatched(self) -> List[Warning_]:
+        return [w for o in self.outcomes for w in o.unmatched_warnings]
+
+    def matrix(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Measured Table 1: class -> framework -> validated/warnings."""
+        out: Dict[str, Dict[str, Dict[str, int]]] = {
+            cls: {fw: {"validated": 0, "warnings": 0} for fw in FRAMEWORK_MODEL}
+            for cls in ALL_CLASSES
+        }
+        for o in self.outcomes:
+            fw = o.program.framework
+            for _w, b in o.matched:
+                out[b.bug_class][fw]["warnings"] += 1
+                if b.real:
+                    out[b.bug_class][fw]["validated"] += 1
+        return out
+
+
+def run_detection(framework: Optional[str] = None,
+                  **checker_opts) -> DetectionResult:
+    """Run the static checker on every (selected) corpus program.
+
+    ``checker_opts`` are forwarded to :class:`StaticChecker` (and its
+    trace collector) — e.g. ``field_sensitive=False`` for the ablation.
+    """
+    result = DetectionResult()
+    for program in REGISTRY.programs(framework):
+        module = program.build()
+        report = StaticChecker(module, **checker_opts).run()
+        warnings = report.warnings()
+        by_key = {(b.rule_id, b.file, b.line): b for b in program.bugs}
+        matched: List[Tuple[Warning_, BugSpec]] = []
+        unmatched: List[Warning_] = []
+        seen = set()
+        for w in warnings:
+            key = (w.rule_id, w.loc.file, w.loc.line)
+            bug = by_key.get(key)
+            if bug is not None:
+                matched.append((w, bug))
+                seen.add(key)
+            else:
+                unmatched.append(w)
+        missed = [b for k, b in by_key.items() if k not in seen]
+        result.outcomes.append(
+            ProgramOutcome(program, warnings, matched, unmatched, missed)
+        )
+    return result
+
+
+def render_table1(result: DetectionResult) -> str:
+    """Text rendering in the layout of the paper's Table 1."""
+    frameworks = ["pmdk", "nvm_direct", "pmfs", "mnemosyne"]
+    header = ["Bug Description"] + [FRAMEWORK_DISPLAY[f] for f in frameworks]
+    rows: List[List[str]] = []
+    matrix = result.matrix()
+    totals = {f: [0, 0] for f in frameworks}
+    for cls in ALL_CLASSES:
+        row = [cls]
+        for f in frameworks:
+            cell = matrix[cls][f]
+            if cell["warnings"] == 0:
+                row.append("-")
+            else:
+                row.append(f"{cell['validated']}/{cell['warnings']}")
+                totals[f][0] += cell["validated"]
+                totals[f][1] += cell["warnings"]
+        rows.append(row)
+    rows.append(
+        ["Total"] + [f"{totals[f][0]}/{totals[f][1]}" for f in frameworks]
+    )
+    widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

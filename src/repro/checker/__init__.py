@@ -1,0 +1,20 @@
+"""Static checker: rule engine, warning reports, suppressions, fixes."""
+
+from .engine import CheckTimings, StaticChecker, analysis_roots
+from .fixes import FixSuggestion, suggest_fix, suggest_fixes
+from .report import Report, Warning_
+from .suppressions import Suppression, SuppressionDB, learn_from_corpus
+
+__all__ = [
+    "CheckTimings",
+    "FixSuggestion",
+    "Report",
+    "StaticChecker",
+    "Suppression",
+    "SuppressionDB",
+    "Warning_",
+    "analysis_roots",
+    "learn_from_corpus",
+    "suggest_fix",
+    "suggest_fixes",
+]

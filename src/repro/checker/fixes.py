@@ -1,0 +1,162 @@
+"""Fix suggestions for reported warnings.
+
+The paper leaves automated bug fixing as future work (§4.3: "Automated bug
+fixing is out of the scope of this work, but we wish to explore it").
+This module provides the first step: a concrete, per-rule repair
+suggestion attached to every warning, phrased in terms of the persistence
+primitives of the framework at hand — the same edits the corpus's
+``fixed=True`` variants apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .report import Report, Warning_
+
+
+@dataclass(frozen=True)
+class FixSuggestion:
+    """A proposed repair for one warning."""
+
+    warning: Warning_
+    action: str        # short imperative, e.g. "insert-flush"
+    description: str   # the human-readable patch instruction
+
+    def render(self) -> str:
+        return f"FIX [{self.action}] {self.warning.loc}: {self.description}"
+
+
+def _unflushed(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "insert-flush",
+        f"flush the written range right after the store at {w.loc} and "
+        f"follow it with a persist barrier; inside a durable transaction, "
+        f"TX_ADD/undo-log the object *before* modifying it so the commit "
+        f"covers the write",
+    )
+
+
+def _multi_write(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "split-persists",
+        f"the barrier at {w.loc} makes several independent writes durable "
+        f"at once: under strict persistency, flush+fence each write "
+        f"individually; if joint durability is intended, declare the "
+        f"updates as one epoch/transaction so the model matches the code",
+    )
+
+
+def _missing_barrier(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "insert-barrier",
+        f"insert a persist barrier (sfence / pmemobj_drain / "
+        f"nvm_persist_barrier) immediately after the flush at {w.loc}, "
+        f"before the next persistent operation or transaction begins",
+    )
+
+
+def _epoch_barrier(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "insert-barrier",
+        f"issue a persist barrier at the end of the epoch closing at "
+        f"{w.loc} so the following epoch's persists are ordered after it",
+    )
+
+
+def _nested_barrier(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "insert-barrier",
+        f"the inner transaction ending at {w.loc} must issue a persist "
+        f"barrier before returning to the outer transaction "
+        f"(PERSISTENT_BARRIER before the inner commit)",
+    )
+
+
+def _mismatch(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "merge-transactions",
+        f"the object updated at {w.loc} is initialized/updated across "
+        f"consecutive persist epochs; merge them into one atomic "
+        f"transaction covering all of its fields (or document that the "
+        f"fields are genuinely independent)",
+    )
+
+
+def _strand(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "order-strands",
+        f"the strands racing at {w.loc} have a data dependence: place the "
+        f"accesses in the same strand, or order the strands with an "
+        f"explicit persist barrier between them",
+    )
+
+
+def _flush_unmodified(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "narrow-flush",
+        f"narrow the flush at {w.loc} to the byte range actually modified "
+        f"(flush the field, not the object); if nothing was modified, "
+        f"delete the flush",
+    )
+
+
+def _redundant_flush(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "remove-flush",
+        f"delete the write-back at {w.loc}: the same data was already "
+        f"flushed and not modified since (an extra write-back costs 2-4x "
+        f"latency and doubles NVM write traffic for the line)",
+    )
+
+
+def _multi_persist(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "remove-log",
+        f"remove the repeated log/flush at {w.loc}: the object is already "
+        f"covered by this transaction's log; logging it again copies "
+        f"unmodified fields into the undo log",
+    )
+
+
+def _empty_tx(w: Warning_) -> FixSuggestion:
+    return FixSuggestion(
+        w, "remove-tx",
+        f"the durable transaction at {w.loc} contains no persistent write "
+        f"on this path: drop the transaction for read-only work, or move "
+        f"the begin/commit inside the branch that actually writes",
+    )
+
+
+_SUGGESTERS: Dict[str, Callable[[Warning_], FixSuggestion]] = {
+    "strict.unflushed-write": _unflushed,
+    "epoch.unflushed-write": _unflushed,
+    "strict.multi-write-barrier": _multi_write,
+    "strict.missing-barrier": _missing_barrier,
+    "epoch.missing-barrier": _epoch_barrier,
+    "epoch.nested-missing-barrier": _nested_barrier,
+    "epoch.semantic-mismatch": _mismatch,
+    "strand.dependence": _strand,
+    "perf.flush-unmodified": _flush_unmodified,
+    "perf.redundant-flush": _redundant_flush,
+    "perf.multi-persist-tx": _multi_persist,
+    "perf.empty-durable-tx": _empty_tx,
+}
+
+
+def suggest_fix(warning: Warning_) -> FixSuggestion:
+    """The repair suggestion for one warning."""
+    suggester = _SUGGESTERS.get(warning.rule_id)
+    if suggester is None:
+        return FixSuggestion(
+            warning, "review",
+            f"no automated suggestion for rule {warning.rule_id}; review "
+            f"the persist operations around {warning.loc} manually",
+        )
+    return suggester(warning)
+
+
+def suggest_fixes(report: Report) -> List[FixSuggestion]:
+    """Suggestions for every warning in a report, in report order."""
+    return [suggest_fix(w) for w in report.warnings()]

@@ -1,0 +1,68 @@
+"""Static checking rules (Tables 4 and 5)."""
+
+from typing import Callable, Dict, List
+
+from ...models import PersistencyModel
+from .base import CheckContext, TraceRule
+from .performance import (
+    EmptyDurableTxRule,
+    FlushUnmodifiedRule,
+    MultiPersistInTxRule,
+    RedundantFlushRule,
+)
+from .violation import (
+    EpochBarrierRule,
+    MultiWritePerBarrierRule,
+    SemanticMismatchRule,
+    StrandOverlapRule,
+    StrictMissingBarrierRule,
+    UnflushedWriteRule,
+)
+
+
+def build_rules(model: PersistencyModel) -> List[Callable[[], TraceRule]]:
+    """Rule factories for one model (fresh instances per trace)."""
+    ids = set(model.rule_ids)
+    factories: List[Callable[[], TraceRule]] = []
+    if "strict.unflushed-write" in ids:
+        factories.append(lambda: UnflushedWriteRule("strict.unflushed-write"))
+    if "epoch.unflushed-write" in ids:
+        factories.append(lambda: UnflushedWriteRule("epoch.unflushed-write"))
+    if "strict.multi-write-barrier" in ids:
+        factories.append(lambda: MultiWritePerBarrierRule(model.name))
+    if "strict.missing-barrier" in ids:
+        factories.append(StrictMissingBarrierRule)
+    if "epoch.missing-barrier" in ids or "epoch.nested-missing-barrier" in ids:
+        between = "epoch.missing-barrier" in ids
+        nested = "epoch.nested-missing-barrier" in ids
+        factories.append(lambda b=between, n=nested: EpochBarrierRule(b, n))
+    if "epoch.semantic-mismatch" in ids:
+        factories.append(lambda: SemanticMismatchRule(model.name))
+    if "strand.dependence" in ids:
+        factories.append(StrandOverlapRule)
+    if "perf.flush-unmodified" in ids:
+        factories.append(FlushUnmodifiedRule)
+    if "perf.redundant-flush" in ids:
+        factories.append(RedundantFlushRule)
+    if "perf.multi-persist-tx" in ids:
+        factories.append(MultiPersistInTxRule)
+    if "perf.empty-durable-tx" in ids:
+        factories.append(EmptyDurableTxRule)
+    return factories
+
+
+__all__ = [
+    "CheckContext",
+    "EmptyDurableTxRule",
+    "EpochBarrierRule",
+    "FlushUnmodifiedRule",
+    "MultiPersistInTxRule",
+    "MultiWritePerBarrierRule",
+    "RedundantFlushRule",
+    "SemanticMismatchRule",
+    "StrandOverlapRule",
+    "StrictMissingBarrierRule",
+    "TraceRule",
+    "UnflushedWriteRule",
+    "build_rules",
+]

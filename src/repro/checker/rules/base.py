@@ -1,0 +1,97 @@
+"""Rule framework for the static checker.
+
+Every rule walks one merged trace (program-order events) and emits
+warnings. Rules are stateless across traces — the engine instantiates a
+fresh rule object per trace, and the report deduplicates by (rule, loc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...analysis.ranges import MemRange
+from ...analysis.traces import Event, Trace
+from ...ir.module import Module
+from ...models import PersistencyModel
+from ..report import Warning_
+
+
+@dataclass
+class CheckContext:
+    """Shared inputs for a rule run."""
+
+    module: Module
+    model: PersistencyModel
+    root: str
+
+
+class TraceRule:
+    """Base class: subclasses implement the event walk."""
+
+    #: rule ids this class can emit (for engine bookkeeping)
+    emits: tuple = ()
+
+    def __init__(self) -> None:
+        self.warnings: List[Warning_] = []
+
+    # -- subclass protocol -------------------------------------------------
+    def on_event(self, event: Event, ctx: CheckContext) -> None:
+        raise NotImplementedError
+
+    def on_end(self, ctx: CheckContext) -> None:
+        """Called once after the last event of the trace."""
+
+    # -- driver ----------------------------------------------------------------
+    def check(self, trace: Trace, ctx: CheckContext) -> List[Warning_]:
+        from ...analysis.traces import EV_TRUNCATED
+
+        self.warnings = []
+        truncated = False
+        for event in trace.events:
+            if event.kind == EV_TRUNCATED:
+                # The path was cut by a loop/size bound: everything after
+                # the cut would be checked against incomplete state (e.g. a
+                # flush whose barrier sits in the elided tail). Stop here —
+                # every truncated path has complete siblings with fewer
+                # loop iterations that cover the rest of the trace.
+                truncated = True
+                break
+            self.on_event(event, ctx)
+        if not truncated:
+            self.on_end(ctx)
+        return self.warnings
+
+    # -- helpers -------------------------------------------------------------------
+    def warn(self, rule_id: str, event: Event, message: str) -> None:
+        self.warnings.append(
+            Warning_(rule_id, event.loc, event.fn, message, source="static")
+        )
+
+
+def node_key(event: Event) -> Optional[int]:
+    """Identity of the object an event touches (DSG representative id)."""
+    if event.cell is None:
+        return None
+    return event.cell.node.find().node_id
+
+
+def node_is_persistent(event: Event) -> bool:
+    return event.cell is not None and event.cell.node.find().persistent
+
+
+def node_label(event: Event) -> str:
+    if event.cell is None:
+        return "?"
+    node = event.cell.node.find()
+    if node.alloc_sites:
+        fn, loc = sorted(node.alloc_sites)[0]
+        return f"object allocated at {loc}"
+    if node.elem_type is not None:
+        return f"object of type {node.elem_type}"
+    return f"object N{node.node_id}"
+
+
+def event_range(event: Event) -> MemRange:
+    assert event.cell is not None
+    return event.cell.range(event.size)

@@ -1,0 +1,130 @@
+"""False-positive suppression database (§5.4's proposed future work).
+
+    "To further reduce false positives, we could maintain a database of
+    user-specified rules to filter out some warnings. The database can be
+    updated with the learned experiences of previously validated false
+    positives."
+
+A :class:`SuppressionDB` stores validated-false-positive sites as
+``(rule_id, file, line)`` entries with a human-readable reason, persists
+to JSON, filters reports, and can *learn* — importing the sites a user
+marked as false after triage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import CheckerError
+from .report import Report, Warning_
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One known-false warning site."""
+
+    rule_id: str
+    file: str
+    line: int
+    reason: str = ""
+    #: who/what validated the site ("user", "corpus", ...)
+    source: str = "user"
+
+    def key(self) -> Tuple[str, str, int]:
+        return (self.rule_id, self.file, self.line)
+
+
+class SuppressionDB:
+    """A persistent set of suppressions with report filtering."""
+
+    def __init__(self, entries: Iterable[Suppression] = ()):
+        self._entries: Dict[Tuple[str, str, int], Suppression] = {}
+        for e in entries:
+            self.add(e)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, entry: Suppression) -> bool:
+        """Insert an entry; returns False if the site was already known."""
+        if entry.key() in self._entries:
+            return False
+        self._entries[entry.key()] = entry
+        return True
+
+    def learn_from_warning(self, warning: Warning_, reason: str,
+                           source: str = "user") -> Suppression:
+        """Record a triaged warning as a validated false positive."""
+        entry = Suppression(warning.rule_id, warning.loc.file,
+                            warning.loc.line, reason, source)
+        self.add(entry)
+        return entry
+
+    def remove(self, rule_id: str, file: str, line: int) -> bool:
+        return self._entries.pop((rule_id, file, line), None) is not None
+
+    # -- queries --------------------------------------------------------------
+    def suppresses(self, warning: Warning_) -> Optional[Suppression]:
+        return self._entries.get(warning.key())
+
+    def entries(self) -> List[Suppression]:
+        return sorted(self._entries.values(),
+                      key=lambda e: (e.file, e.line, e.rule_id))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def filter(self, report: Report) -> Tuple[Report, List[Warning_]]:
+        """Split a report into (kept, suppressed) warnings."""
+        kept = Report(report.module_name, report.model)
+        suppressed: List[Warning_] = []
+        for w in report.warnings():
+            if self.suppresses(w) is not None:
+                suppressed.append(w)
+            else:
+                kept.add(w)
+        return kept, suppressed
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "suppressions": [asdict(e) for e in self.entries()],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SuppressionDB":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckerError(f"cannot load suppression db {path}: {exc}")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise CheckerError(
+                f"suppression db {path}: unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        entries = []
+        for raw in payload.get("suppressions", []):
+            try:
+                entries.append(Suppression(**raw))
+            except TypeError as exc:
+                raise CheckerError(
+                    f"suppression db {path}: malformed entry {raw!r} ({exc})"
+                )
+        return cls(entries)
+
+
+def learn_from_corpus() -> SuppressionDB:
+    """Seed a database from the corpus's validated false positives — the
+    "learned experiences" bootstrap the paper sketches."""
+    from ..corpus import REGISTRY
+
+    db = SuppressionDB()
+    for bug in REGISTRY.bugs(real=False):
+        db.add(Suppression(bug.rule_id, bug.file, bug.line,
+                           reason=bug.description, source="corpus"))
+    return db

@@ -1,0 +1,219 @@
+"""``deepmc`` command-line interface.
+
+Mirrors the paper's usage model: the user points DeepMC at a program and a
+single persistency-model flag; the tool reports warnings with file:line.
+
+Subcommands::
+
+    deepmc check FILE.nvmir [--model strict|epoch|strand] [--dynamic]
+    deepmc run FILE.nvmir [--entry main] [--arg N ...]
+    deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
+    deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .checker.engine import StaticChecker
+from .dynamic.checker import DynamicChecker
+from .errors import ReproError
+from .ir.parser import parse_module
+from .vm.interpreter import Interpreter
+
+
+def _load_module(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    if path.endswith(".c"):
+        from .frontend import compile_c
+
+        return compile_c(source, path.rsplit("/", 1)[-1])
+    return parse_module(source)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    module = _load_module(args.file)
+    report = StaticChecker(module, model=args.model).run()
+    if args.dynamic:
+        checker = DynamicChecker(module, model=args.model)
+        dyn_report, _runs = checker.run(entry=args.entry)
+        report.merge(dyn_report)
+    suppressed = []
+    if args.suppressions:
+        from .checker.suppressions import SuppressionDB
+
+        db = SuppressionDB.load(args.suppressions)
+        report, suppressed = db.filter(report)
+    print(report.render())
+    if suppressed:
+        print(f"\n({len(suppressed)} warning(s) suppressed by "
+              f"{args.suppressions})")
+    if args.suggest_fixes and len(report):
+        from .checker.fixes import suggest_fixes
+
+        print("\nSuggested fixes:")
+        for suggestion in suggest_fixes(report):
+            print(f"  {suggestion.render()}")
+    return 1 if len(report) else 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load_module(args.file)
+    result = Interpreter(module).run(args.entry, [int(a) for a in args.arg])
+    for line in result.output:
+        print(line)
+    print(f"returned: {result.value}")
+    print(f"steps: {result.steps}")
+    for key, value in result.stats.snapshot().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from .bench.detection import render_table1, run_detection
+
+    result = run_detection(framework=args.framework)
+    print(render_table1(result))
+    print()
+    print(
+        f"warnings: {result.total_warnings}  "
+        f"validated: {result.total_validated}  "
+        f"false positives: {result.total_false_positives} "
+        f"({result.false_positive_rate:.0%})"
+    )
+    missed = result.missed()
+    if missed:
+        print(f"MISSED {len(missed)} ground-truth bugs:")
+        for b in missed:
+            print(f"  {b.bug_id}")
+        return 1
+    return 0
+
+
+def cmd_learn_suppressions(args: argparse.Namespace) -> int:
+    from .checker.suppressions import learn_from_corpus
+
+    db = learn_from_corpus()
+    db.save(args.output)
+    print(f"wrote {len(db)} suppression(s) to {args.output}")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from . import bench
+
+    which = args.which
+    if which in ("1", "2", "3", "8"):
+        result = bench.run_detection()
+    if which == "1":
+        print(bench.render_table1(result))
+    elif which == "2":
+        print(bench.render_table2(result))
+    elif which == "3":
+        print(bench.render_table3(result))
+    elif which == "4":
+        print(bench.render_table4())
+    elif which == "5":
+        print(bench.render_table5())
+    elif which == "6":
+        print(bench.render_table6())
+    elif which == "7":
+        print(bench.render_table7())
+    elif which == "8":
+        print(bench.render_table8(result))
+    elif which == "9":
+        print(bench.render_table9(bench.measure_compile_times()))
+    return 0
+
+
+def cmd_figure12(args: argparse.Namespace) -> int:
+    from .bench import measure_figure12, render_figure12
+
+    print(render_figure12(measure_figure12(ops=args.ops, repeats=args.repeats)))
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    from .bench import measure_fix_speedups, render_fix_speedups
+
+    print(render_fix_speedups(measure_fix_speedups(repeat=args.repeat)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="deepmc",
+        description="DeepMC: persistency-model-aware bug detection for NVM "
+                    "programs (PPoPP'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="statically check an IR module")
+    p.add_argument("file")
+    p.add_argument("--model", choices=["strict", "epoch", "strand"],
+                   default=None,
+                   help="persistency model flag (default: module header)")
+    p.add_argument("--dynamic", action="store_true",
+                   help="also execute under the dynamic checker")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--suppressions", default=None, metavar="DB.json",
+                   help="filter warnings through a suppression database")
+    p.add_argument("--suggest-fixes", action="store_true",
+                   help="print a repair suggestion for each warning")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("run", help="execute an IR module on the simulator")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--arg", action="append", default=[],
+                   help="integer argument for the entry function")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("corpus", help="run detection over the bug corpus")
+    p.add_argument("--framework",
+                   choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
+                   default=None)
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "learn-suppressions",
+        help="write the corpus's validated false positives to a "
+             "suppression database (§5.4 future work)",
+    )
+    p.add_argument("output", metavar="DB.json")
+    p.set_defaults(func=cmd_learn_suppressions)
+
+    p = sub.add_parser("table", help="reproduce one of the paper's tables")
+    p.add_argument("which", choices=[str(i) for i in range(1, 10)])
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure12", help="reproduce the Figure 12 overheads")
+    p.add_argument("--ops", type=int, default=2000)
+    p.add_argument("--repeats", type=int, default=3)
+    p.set_defaults(func=cmd_figure12)
+
+    p = sub.add_parser("speedup", help="§5.1 performance-bug fix speedups")
+    p.add_argument("--repeat", type=int, default=64)
+    p.set_defaults(func=cmd_speedup)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"deepmc: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"deepmc: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The bug corpus: every warning site of the paper's evaluation.
+
+Importing this package populates :data:`REGISTRY` with all corpus
+programs. Use :func:`check_program` to run the static checker on one
+program and compare against its ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..checker.engine import StaticChecker
+from ..checker.report import Report
+from .registry import (
+    ALL_CLASSES,
+    CLASS_TO_RULE,
+    FRAMEWORK_AGE_YEARS,
+    FRAMEWORK_DISPLAY,
+    FRAMEWORK_MODEL,
+    PERFORMANCE_CLASSES,
+    REGISTRY,
+    VIOLATION_CLASSES,
+    BugSpec,
+    CorpusProgram,
+)
+
+# Populate the registry.
+from . import pmdk_programs  # noqa: E402,F401
+from . import pmfs_programs  # noqa: E402,F401
+from . import nvmdirect_programs  # noqa: E402,F401
+from . import mnemosyne_programs  # noqa: E402,F401
+
+
+def expected_warning_keys(program: CorpusProgram) -> Set[Tuple[str, str, int]]:
+    """The exact (rule, file, line) set the checker must report."""
+    return {(b.rule_id, b.file, b.line) for b in program.bugs}
+
+
+def check_program(program: CorpusProgram, fixed: bool = False) -> Report:
+    """Run the static checker on a freshly built corpus program."""
+    module = program.build(fixed=fixed)
+    return StaticChecker(module).run()
+
+
+def verify_ground_truth(program: CorpusProgram) -> Tuple[Set, Set]:
+    """Compare checker output against ground truth.
+
+    Returns ``(missing, unexpected)`` — both empty iff the checker reports
+    exactly the registered warning sites.
+    """
+    report = check_program(program)
+    got = {(w.rule_id, w.loc.file, w.loc.line) for w in report.warnings()}
+    want = expected_warning_keys(program)
+    return want - got, got - want
+
+
+__all__ = [
+    "ALL_CLASSES",
+    "BugSpec",
+    "CLASS_TO_RULE",
+    "CorpusProgram",
+    "FRAMEWORK_AGE_YEARS",
+    "FRAMEWORK_DISPLAY",
+    "FRAMEWORK_MODEL",
+    "PERFORMANCE_CLASSES",
+    "REGISTRY",
+    "VIOLATION_CLASSES",
+    "check_program",
+    "expected_warning_keys",
+    "verify_ground_truth",
+]

@@ -1,0 +1,201 @@
+"""Mnemosyne corpus: the academic framework's bugs (epoch model).
+
+Three programs mirroring ``phlog_base.c``, ``chhash.c`` and ``CHash.c``
+from Table 8 — all new bugs, ~10 years old at detection time.
+"""
+
+from __future__ import annotations
+
+from ..frameworks import Mnemosyne
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .registry import (
+    CLASS_MULTI_FLUSH,
+    CLASS_MULTI_PERSIST_TX,
+    CLASS_UNFLUSHED,
+    REGISTRY,
+    BugSpec,
+    CorpusProgram,
+    fix_flags,
+)
+from .util import counted_loop
+
+
+# ---------------------------------------------------------------------------
+# phlog_base.c — a log-buffer write that never reaches a flush
+# ---------------------------------------------------------------------------
+
+def build_phlog(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("mnemosyne_phlog", persistency_model="epoch")
+    mtm = Mnemosyne(mod)
+    log_t = mod.define_struct(
+        "phlog_base", [("head", ty.I64), ("buffer", ty.ArrayType(ty.I64, 8))]
+    )
+    log_p = ty.pointer_to(log_t)
+    SRC = "phlog_base.c"
+
+    write = mod.define_function("phlog_base_write", ty.VOID,
+                                [("log", log_p)], source_file=SRC)
+    b = IRBuilder(write)
+    if fix_viol:
+        # The repair: payload + head form one logical append, so they are
+        # one epoch — flush both, one barrier at the epoch boundary.
+        mtm.atomic_begin(b, line=130)
+    buf = b.getfield(write.arg("log"), "buffer", line=130)
+    # slot 7 sits on the second cacheline — it cannot ride along with the
+    # head-pointer flush on line 0, so the missing flush is consequential
+    slot = b.getelem(buf, 7, line=131)
+    b.store(0xDEAD, slot, line=132)  # BUG(new): never flushed
+    if fix_viol:
+        mtm.flush(b, slot, 8, line=132)
+    hf = b.getfield(write.arg("log"), "head", line=134)
+    b.store(3, hf, line=134)
+    mtm.flush(b, hf, 8, line=135)
+    if fix_viol:
+        mtm.atomic_end(b, line=136)
+    else:
+        mtm.pcommit(b, line=136)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        log = b.palloc(log_t, line=200)
+        b.call(write, [log], line=205)
+
+    counted_loop(b, repeat, body, line=203)
+    b.ret(0, line=207)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="mnemosyne_phlog",
+    framework="mnemosyne",
+    build=build_phlog,
+    description="Physical log append: payload word stored but only the head "
+                "pointer is flushed",
+    bugs=[
+        BugSpec("mnemosyne", "phlog_base.c", 132, CLASS_UNFLUSHED,
+                "Unflushed write of the log payload word", "LIB",
+                studied=False),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# chhash.c — buckets re-logged inside one durable transaction
+# ---------------------------------------------------------------------------
+
+def build_chhash(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("mnemosyne_chhash", persistency_model="epoch")
+    mtm = Mnemosyne(mod)
+    bucket_t = mod.define_struct(
+        "chhash_bucket", [("key", ty.I64), ("value", ty.I64)]
+    )
+    bucket_p = ty.pointer_to(bucket_t)
+    SRC = "chhash.c"
+
+    def relogging_fn(name: str, l_begin: int, l_store: int, l_relog: int,
+                     l_end: int):
+        fn = mod.define_function(name, ty.VOID, [("bkt", bucket_p)],
+                                 source_file=SRC)
+        b = IRBuilder(fn)
+        mtm.atomic_begin(b, line=l_begin)
+        kf = b.getfield(fn.arg("bkt"), "key", line=l_store)
+        mtm.tm_store(b, kf, 5, line=l_store)
+        if not fix_perf:
+            # BUG(new): the whole bucket is logged again although the key
+            # word is already in the transaction's log.
+            b.txadd(fn.arg("bkt"), bucket_t.size(), line=l_relog)
+        vf = b.getfield(fn.arg("bkt"), "value", line=l_relog + 2)
+        mtm.tm_store(b, vf, 6, line=l_relog + 2)
+        mtm.atomic_end(b, line=l_end)
+        b.ret()
+        return fn
+
+    insert = relogging_fn("chhash_insert", 180, 182, 185, 190)
+    remove = relogging_fn("chhash_remove", 265, 267, 270, 275)
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        b1 = b.palloc(bucket_t, line=300)
+        b2 = b.palloc(bucket_t, line=301)
+        b.call(insert, [b1], line=305)
+        b.call(remove, [b2], line=306)
+
+    counted_loop(b, repeat, body, line=303)
+    b.ret(0, line=308)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="mnemosyne_chhash",
+    framework="mnemosyne",
+    build=build_chhash,
+    description="Hash table operations log the same bucket repeatedly "
+                "inside one atomic block",
+    bugs=[
+        BugSpec("mnemosyne", "chhash.c", 185, CLASS_MULTI_PERSIST_TX,
+                "Multiple writes/logs of the same bucket in one transaction "
+                "(insert)", "LIB", studied=False),
+        BugSpec("mnemosyne", "chhash.c", 270, CLASS_MULTI_PERSIST_TX,
+                "Multiple writes/logs of the same bucket in one transaction "
+                "(remove)", "LIB", studied=False),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# CHash.c — table flushed twice during expansion
+# ---------------------------------------------------------------------------
+
+def build_chash(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("mnemosyne_chash", persistency_model="epoch")
+    mtm = Mnemosyne(mod)
+    table_t = mod.define_struct(
+        "chash_table", [("slots", ty.ArrayType(ty.I64, 8))]
+    )
+    table_p = ty.pointer_to(table_t)
+    SRC = "CHash.c"
+
+    expand = mod.define_function("chash_expand", ty.VOID,
+                                 [("table", table_p)], source_file=SRC)
+    b = IRBuilder(expand)
+    b.memset(expand.arg("table"), 0, table_t.size(), line=146)
+    mtm.flush(b, expand.arg("table"), table_t.size(), line=148)
+    if not fix_perf:
+        # BUG(new): the freshly flushed table is flushed a second time
+        mtm.flush(b, expand.arg("table"), table_t.size(), line=150)
+    mtm.pcommit(b, line=152)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        t = b.palloc(table_t, line=200)
+        b.call(expand, [t], line=205)
+
+    counted_loop(b, repeat, body, line=203)
+    b.ret(0, line=207)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="mnemosyne_chash",
+    framework="mnemosyne",
+    build=build_chash,
+    description="Hash table expansion flushes the same table twice",
+    bugs=[
+        BugSpec("mnemosyne", "CHash.c", 150, CLASS_MULTI_FLUSH,
+                "Multiple flushes of the persistent table object", "LIB",
+                studied=False, dynamic=True),
+    ],
+))

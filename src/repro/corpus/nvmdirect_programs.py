@@ -1,0 +1,311 @@
+"""NVM-Direct corpus: Oracle's library bugs (strict model).
+
+Three programs mirroring ``nvm_region.c`` (Figure 3), ``nvm_heap.c``
+(Figure 6) and ``nvm_locks.c`` (Figures 9/10).
+"""
+
+from __future__ import annotations
+
+from ..frameworks import NVMDirect
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .registry import (
+    CLASS_EMPTY_TX,
+    CLASS_FLUSH_UNMODIFIED,
+    CLASS_MISSING_BARRIER,
+    CLASS_MULTI_FLUSH,
+    CLASS_UNFLUSHED,
+    REGISTRY,
+    BugSpec,
+    CorpusProgram,
+    fix_flags,
+)
+from .util import counted_loop, if_then, launder
+
+
+# ---------------------------------------------------------------------------
+# nvm_region.c — Figure 3: flush without barrier before a transaction
+# ---------------------------------------------------------------------------
+
+def build_region(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("nvmdirect_region", persistency_model="strict")
+    nvmd = NVMDirect(mod)
+    region_t = mod.define_struct(
+        "nvm_region", [("header", ty.I64), ("attach", ty.I64), ("vsize", ty.I64)]
+    )
+    region_p = ty.pointer_to(region_t)
+    SRC = "nvm_region.c"
+
+    def flush_then_tx(name: str, l_init: int, l_flush: int, l_tx: int):
+        """Initialize + flush a region, then open a transaction without a
+        persist barrier in between — the Figure 3 shape."""
+        fn = mod.define_function(name, ty.VOID, [("region", region_p)],
+                                 source_file=SRC)
+        b = IRBuilder(fn)
+        b.memset(fn.arg("region"), 0, region_t.size(), line=l_init)
+        nvmd.flush(b, fn.arg("region"), region_t.size(), line=l_flush)  # BUG
+        if fix_viol:
+            nvmd.persist_barrier(b, line=l_flush)
+        nvmd.txbegin(b, line=l_tx)
+        af = b.getfield(fn.arg("region"), "attach", line=l_tx + 1)
+        nvmd.undo(b, af, 8, line=l_tx + 1)
+        b.store(1, af, line=l_tx + 1)
+        nvmd.txend(b, line=l_tx + 2)
+        b.ret()
+        return fn
+
+    create = flush_then_tx("nvm_create_region", 610, 614, 617)
+    map_fn = flush_then_tx("nvm_map_region", 930, 933, 936)
+
+    # FALSE POSITIVE: the transaction writes through a pointer laundered
+    # via an integer cast, so the static analysis sees no persistent write
+    # inside it and reports an empty durable transaction.
+    finalize = mod.define_function("nvm_finalize_region", ty.VOID,
+                                   [("region", region_p)], source_file=SRC)
+    b = IRBuilder(finalize)
+    nvmd.txbegin(b, line=700)  # FP site
+    alias = launder(b, finalize.arg("region"), line=701)
+    hf = b.getfield(alias, "header", line=702)
+    b.store(2, hf, line=702)
+    b.flush(hf, 8, line=703)
+    b.fence(line=703)
+    nvmd.txend(b, line=704)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        r1 = b.palloc(region_t, line=800)
+        r2 = b.palloc(region_t, line=801)
+        r3 = b.palloc(region_t, line=802)
+        b.call(create, [r1], line=805)
+        b.call(map_fn, [r2], line=806)
+        b.call(finalize, [r3], line=807)
+
+    counted_loop(b, repeat, body, line=803)
+    b.ret(0, line=809)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="nvmdirect_region",
+    framework="nvm_direct",
+    build=build_region,
+    description="Figure 3: region initialization flushed but not fenced "
+                "before the next transaction begins",
+    bugs=[
+        BugSpec("nvm_direct", "nvm_region.c", 614, CLASS_MISSING_BARRIER,
+                "Missing persist barrier between the region flush and the "
+                "next transaction (nvm_create_region)", "LIB", studied=True),
+        BugSpec("nvm_direct", "nvm_region.c", 933, CLASS_MISSING_BARRIER,
+                "Missing persist barrier between the region flush and the "
+                "next transaction (nvm_map_region)", "LIB", studied=True),
+        BugSpec("nvm_direct", "nvm_region.c", 700, CLASS_EMPTY_TX,
+                "False positive: transaction writes through a pointer the "
+                "static analysis cannot resolve", "LIB", studied=False,
+                real=False, invented=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# nvm_heap.c — Figure 6: redundant write-backs
+# ---------------------------------------------------------------------------
+
+def build_heap(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("nvmdirect_heap", persistency_model="strict")
+    nvmd = NVMDirect(mod)
+    blk_t = mod.define_struct("nvm_blk", [("state", ty.I64)])
+    heap_t = mod.define_struct(
+        "nvm_heap", [("config", ty.I64), ("name", ty.ArrayType(ty.I64, 31))]
+    )  # 256 B: four cachelines
+    blk_p = ty.pointer_to(blk_t)
+    heap_p = ty.pointer_to(heap_t)
+    SRC = "nvm_heap.c"
+
+    # nvm_free_blk: the freed block is written back twice (Figure 6).
+    free_blk = mod.define_function("nvm_free_blk", ty.VOID, [("blk", blk_p)],
+                                   source_file=SRC)
+    b = IRBuilder(free_blk)
+    sf = b.getfield(free_blk.arg("blk"), "state", line=1958)
+    b.store(0, sf, line=1958)
+    nvmd.flush1(b, free_blk.arg("blk"), line=1960)
+    if not fix_perf:
+        nvmd.flush1(b, free_blk.arg("blk"), line=1965)  # BUG(studied)
+    nvmd.persist_barrier(b, line=1967)
+    b.ret()
+
+    # nvm_heap_init: one field set, the whole 64-byte heap persisted (new).
+    heap_init = mod.define_function("nvm_heap_init", ty.VOID,
+                                    [("heap", heap_p)], source_file=SRC)
+    b = IRBuilder(heap_init)
+    cf = b.getfield(heap_init.arg("heap"), "config", line=1672)
+    b.store(3, cf, line=1672)
+    if fix_perf:
+        nvmd.persist(b, cf, 8, line=1675)
+    else:
+        nvmd.persist(b, heap_init.arg("heap"), heap_t.size(), line=1675)  # BUG
+    b.ret()
+
+    # FALSE POSITIVE: the heap is rewritten only when dirty, flushed
+    # unconditionally; the clean path shows a flush with no write.
+    check = mod.define_function("nvm_heap_check", ty.VOID,
+                                [("heap", heap_p), ("dirty", ty.I64)],
+                                source_file=SRC)
+    b = IRBuilder(check)
+    is_dirty = b.icmp("ne", check.arg("dirty"), 0, line=1697)
+
+    def scrub(b: IRBuilder) -> None:
+        b.memset(check.arg("heap"), 0, heap_t.size(), line=1698)
+
+    if_then(b, is_dirty, scrub, line=1697)
+    nvmd.persist(b, check.arg("heap"), heap_t.size(), line=1700)  # FP site
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        blk = b.palloc(blk_t, line=1800)
+        h1 = b.palloc(heap_t, line=1801)
+        h2 = b.palloc(heap_t, line=1802)
+        b.call(free_blk, [blk], line=1805)
+        b.call(heap_init, [h1], line=1806)
+        b.call(check, [h2, b.const(0)], line=1807)
+
+    counted_loop(b, repeat, body, line=1803)
+    b.ret(0, line=1809)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="nvmdirect_heap",
+    framework="nvm_direct",
+    build=build_heap,
+    description="Figure 6: freed block flushed twice; whole-heap persists "
+                "of single-field updates",
+    bugs=[
+        BugSpec("nvm_direct", "nvm_heap.c", 1965, CLASS_MULTI_FLUSH,
+                "Redundant flush of the freed block (Figure 6)", "LIB",
+                studied=True),
+        BugSpec("nvm_direct", "nvm_heap.c", 1675, CLASS_FLUSH_UNMODIFIED,
+                "Flushing unmodified fields: whole heap persisted after one "
+                "field update", "LIB", studied=False, dynamic=True),
+        BugSpec("nvm_direct", "nvm_heap.c", 1700, CLASS_FLUSH_UNMODIFIED,
+                "False positive: heap rewritten only on the dirty path but "
+                "flushed unconditionally", "LIB", studied=False, real=False,
+                invented=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# nvm_locks.c — Figures 9/10 plus Table 8's lock bugs
+# ---------------------------------------------------------------------------
+
+def build_locks(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("nvmdirect_locks", persistency_model="strict")
+    nvmd = NVMDirect(mod)
+    mutex_t = mod.define_struct("nvm_amutex", [("owners", ty.I64), ("level", ty.I64)])
+    # new_level sits on the second cacheline, away from state: the missing
+    # flush at 932 cannot be papered over by the state flush on line 0.
+    lk_t = mod.define_struct(
+        "nvm_lkrec",
+        [("state", ty.I64), ("pad0", ty.ArrayType(ty.I64, 7)),
+         ("new_level", ty.I64), ("owner", ty.I64),
+         ("pad1", ty.ArrayType(ty.I64, 22))],  # 256 B: four cachelines
+    )
+    mutex_p = ty.pointer_to(mutex_t)
+    lk_p = ty.pointer_to(lk_t)
+    SRC = "nvm_locks.c"
+
+    # nvm_add_lock_op allocates the lock record from NVM (Figure 10 shows
+    # how the DSG learns this interprocedurally).
+    add_op = mod.define_function("nvm_add_lock_op", lk_p,
+                                 [("mutex", mutex_p)], source_file=SRC)
+    b = IRBuilder(add_op)
+    lk = b.palloc(lk_t, line=870)
+    b.ret(lk, line=872)
+
+    # nvm_lock — the paper's Figure 9: new_level is updated at line 932 but
+    # never flushed.
+    lock = mod.define_function("nvm_lock", ty.VOID, [("omutex", mutex_p)],
+                               source_file=SRC)
+    b = IRBuilder(lock)
+    lk = b.call(add_op, [lock.arg("omutex")], line=919)
+    sf = b.getfield(lk, "state", line=921)
+    b.store(1, sf, line=921)
+    nvmd.persist1(b, sf, line=922)
+    of = b.getfield(lock.arg("omutex"), "owners", line=924)
+    b.store(1, of, line=924)
+    nvmd.persist1(b, of, line=925)
+    nlf = b.getfield(lk, "new_level", line=932)
+    b.store(5, nlf, line=932)  # BUG(new): missing flush (Figure 9)
+    if fix_viol:
+        nvmd.persist1(b, nlf, line=932)
+    b.store(2, sf, line=933)
+    nvmd.persist1(b, sf, line=934)
+    b.ret()
+
+    # nvm_wait_list_check: a durable transaction that only reads (new).
+    wait_check = mod.define_function("nvm_wait_list_check", ty.I64,
+                                     [("mutex", mutex_p)], source_file=SRC)
+    b = IRBuilder(wait_check)
+    if not fix_perf:
+        nvmd.txbegin(b, line=905)  # BUG(new): no persistent writes
+    of = b.getfield(wait_check.arg("mutex"), "owners", line=906)
+    owners = b.load(of, line=906)
+    if not fix_perf:
+        nvmd.txend(b, line=907)
+    b.ret(owners, line=908)
+
+    # nvm_unlock_callback: one field written, whole record persisted (new).
+    unlock = mod.define_function("nvm_unlock_callback", ty.VOID,
+                                 [("lk", lk_p)], source_file=SRC)
+    b = IRBuilder(unlock)
+    sf = b.getfield(unlock.arg("lk"), "state", line=1408)
+    b.store(0, sf, line=1408)
+    if fix_perf:
+        nvmd.persist1(b, sf, line=1411)
+    else:
+        nvmd.persist(b, unlock.arg("lk"), lk_t.size(), line=1411)  # BUG(new)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        mutex = b.palloc(mutex_t, line=1500)
+        lk = b.palloc(lk_t, line=1501)
+        b.call(lock, [mutex], line=1505)
+        b.call(wait_check, [mutex], line=1506)
+        b.call(unlock, [lk], line=1507)
+
+    counted_loop(b, repeat, body, line=1503)
+    b.ret(0, line=1509)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="nvmdirect_locks",
+    framework="nvm_direct",
+    build=build_locks,
+    description="Figure 9's nvm_lock missing flush, a read-only durable "
+                "transaction, and a whole-record persist of one field",
+    bugs=[
+        BugSpec("nvm_direct", "nvm_locks.c", 932, CLASS_UNFLUSHED,
+                "Missing flush: lk->new_level updated but never written "
+                "back (Figure 9)", "LIB", studied=False),
+        BugSpec("nvm_direct", "nvm_locks.c", 905, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes in the wait-"
+                "list check", "LIB", studied=False),
+        BugSpec("nvm_direct", "nvm_locks.c", 1411, CLASS_FLUSH_UNMODIFIED,
+                "Whole lock record persisted when only state is modified",
+                "LIB", studied=False),
+    ],
+))

@@ -1,0 +1,669 @@
+"""PMDK corpus: reconstructions of the paper's PMDK bugs (strict model).
+
+Seven programs mirroring the buggy files of Tables 3 and 8 —
+``btree_map.c``, ``rbtree_map.c``, ``pminvaders.c``, ``hash_map.c``,
+``hashmap_atomic.c``, ``obj_pmemlog.c``, ``obj_pmemlog_simple.c`` — each
+rebuilt in IR at the paper's file:line coordinates. ``build(fixed=True)``
+produces the repaired variant; ``repeat`` scales the driver loop for the
+performance benches.
+"""
+
+from __future__ import annotations
+
+from ..frameworks import PMDK
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .registry import (
+    CLASS_EMPTY_TX,
+    CLASS_FLUSH_UNMODIFIED,
+    CLASS_MISMATCH,
+    CLASS_MISSING_BARRIER,
+    CLASS_MULTI_FLUSH,
+    CLASS_MULTI_PERSIST_TX,
+    CLASS_UNFLUSHED,
+    REGISTRY,
+    BugSpec,
+    CorpusProgram,
+    fix_flags,
+)
+from .util import counted_loop, launder
+
+
+# ---------------------------------------------------------------------------
+# btree_map.c
+# ---------------------------------------------------------------------------
+
+def build_btree_map(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmdk_btree_map", persistency_model="strict")
+    pmdk = PMDK(mod)
+    # 'items' lives on the second cacheline so an unlogged item update is
+    # genuinely torn at a crash (not saved by the header flush's line).
+    node_t = mod.define_struct(
+        "tree_map_node",
+        [("n", ty.I64), ("pad", ty.ArrayType(ty.I64, 7)),
+         ("items", ty.ArrayType(ty.I64, 4))],
+    )
+    node_p = ty.pointer_to(node_t)
+    SRC = "btree_map.c"
+
+    # -- btree_map_create_split_node: splits a node inside a transaction.
+    # The 'items' update at line 201 is never TX_ADD-logged (Figure 2).
+    split = mod.define_function("btree_map_create_split_node", ty.VOID,
+                                [("node", node_p)], source_file=SRC)
+    b = IRBuilder(split)
+    nf = b.getfield(split.arg("node"), "n", line=194)
+    if fix_viol:
+        pmdk.tx_add(b, split.arg("node"), node_t.size(), line=195)
+    else:
+        pmdk.tx_add(b, nf, 8, line=195)
+    b.store(2, nf, line=196)
+    items = b.getfield(split.arg("node"), "items", line=200)
+    last = b.getelem(items, 3, line=200)
+    b.store(0, last, line=201)  # BUG(studied): unlogged write in transaction
+    b.ret()
+
+    insert = mod.define_function("btree_map_insert", ty.VOID,
+                                 [("node", node_p)], source_file=SRC)
+    b = IRBuilder(insert)
+    pmdk.tx_begin(b, line=193)
+    b.call(split, [insert.arg("node")], line=197)
+    pmdk.tx_end(b, line=205)
+    b.ret()
+
+    # -- btree_map_write_meta: FALSE POSITIVE — the write at 208 *is*
+    # flushed, but through a pointer round-tripped via an integer, which
+    # the conservative DSA cannot connect back to the object (§5.4).
+    meta = mod.define_function("btree_map_write_meta", ty.VOID,
+                               [("node", node_p)], source_file=SRC)
+    b = IRBuilder(meta)
+    items = b.getfield(meta.arg("node"), "items", line=207)
+    first = b.getelem(items, 0, line=207)
+    b.store(1, first, line=208)  # FP: flushed below via laundered pointer
+    alias = launder(b, meta.arg("node"), line=209)
+    b.flush(alias, node_t.size(), line=209)
+    b.fence(line=210)
+    b.ret()
+
+    # -- btree_map_clear: redundant second persist of the node (new bug).
+    clear = mod.define_function("btree_map_clear", ty.VOID,
+                                [("node", node_p)], source_file=SRC)
+    b = IRBuilder(clear)
+    b.memset(clear.arg("node"), 0, node_t.size(), line=362)
+    pmdk.persist(b, clear.arg("node"), node_t.size(), line=363)
+    if not fix_perf:
+        pmdk.persist(b, clear.arg("node"), node_t.size(), line=365)  # BUG(new)
+    b.ret()
+
+    # -- btree_map_remove: same pattern on one item slot (new bug).
+    remove = mod.define_function("btree_map_remove", ty.VOID,
+                                 [("node", node_p)], source_file=SRC)
+    b = IRBuilder(remove)
+    items = b.getfield(remove.arg("node"), "items", line=461)
+    slot = b.getelem(items, 1, line=461)
+    b.store(0, slot, line=462)
+    pmdk.persist(b, slot, 8, line=463)
+    if not fix_perf:
+        pmdk.persist(b, slot, 8, line=465)  # BUG(new): redundant write-back
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        n1 = b.palloc(node_t, line=500)
+        n2 = b.palloc(node_t, line=501)
+        b.call(insert, [n1], line=505)
+        b.call(meta, [n2], line=506)
+        b.call(clear, [n1], line=507)
+        b.call(remove, [n1], line=508)
+
+    counted_loop(b, repeat, body, line=503)
+    b.ret(0, line=510)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_btree_map",
+    framework="pmdk",
+    build=build_btree_map,
+    description="B-tree example program: unlogged write in a transaction "
+                "(Figure 2) plus redundant node write-backs",
+    bugs=[
+        BugSpec("pmdk", "btree_map.c", 201, CLASS_UNFLUSHED,
+                "Modify tree node without making it durable (unlogged write "
+                "in transaction)", "EP", studied=True),
+        BugSpec("pmdk", "btree_map.c", 208, CLASS_UNFLUSHED,
+                "False positive: write is flushed through an aliased pointer "
+                "the static analysis cannot resolve", "EP", studied=False,
+                real=False, invented=True),
+        BugSpec("pmdk", "btree_map.c", 365, CLASS_MULTI_FLUSH,
+                "Redundant second persist of cleared tree node", "EP",
+                studied=False),
+        BugSpec("pmdk", "btree_map.c", 465, CLASS_MULTI_FLUSH,
+                "Redundant second persist of removed item slot", "EP",
+                studied=False),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# rbtree_map.c
+# ---------------------------------------------------------------------------
+
+def build_rbtree_map(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmdk_rbtree_map", persistency_model="strict")
+    pmdk = PMDK(mod)
+    node_t = mod.define_struct(
+        "rbtree_node",
+        [("color", ty.I64), ("key", ty.I64), ("value", ty.I64),
+         ("left", ty.PTR), ("right", ty.PTR)],
+    )
+    node_p = ty.pointer_to(node_t)
+    SRC = "rbtree_map.c"
+
+    # -- insert: logs the whole node twice (studied bug at 197).
+    insert = mod.define_function("rbtree_map_insert", ty.VOID,
+                                 [("node", node_p)], source_file=SRC)
+    b = IRBuilder(insert)
+    pmdk.tx_begin(b, line=190)
+    pmdk.tx_add(b, insert.arg("node"), node_t.size(), line=195)
+    if not fix_perf:
+        # BUG(studied): the node (incl. unmodified fields) is logged again
+        pmdk.tx_add(b, insert.arg("node"), node_t.size(), line=197)
+    kf = b.getfield(insert.arg("node"), "key", line=198)
+    b.store(10, kf, line=198)
+    vf = b.getfield(insert.arg("node"), "value", line=199)
+    b.store(20, vf, line=199)
+    pmdk.tx_end(b, line=210)
+    b.ret()
+
+    # -- rotate: same re-logging pattern (studied bug at 231).
+    rotate = mod.define_function("rbtree_map_rotate", ty.VOID,
+                                 [("node", node_p)], source_file=SRC)
+    b = IRBuilder(rotate)
+    pmdk.tx_begin(b, line=225)
+    pmdk.tx_add(b, rotate.arg("node"), node_t.size(), line=228)
+    if not fix_perf:
+        pmdk.tx_add(b, rotate.arg("node"), node_t.size(), line=231)  # BUG(studied)
+    lf = b.getfield(rotate.arg("node"), "left", line=233)
+    b.store(b.const(0), lf, line=233)
+    pmdk.tx_end(b, line=240)
+    b.ret()
+
+    # -- recolor: third instance of the pattern (new bug at 410).
+    recolor = mod.define_function("rbtree_map_recolor", ty.VOID,
+                                  [("node", node_p)], source_file=SRC)
+    b = IRBuilder(recolor)
+    pmdk.tx_begin(b, line=405)
+    pmdk.tx_add(b, recolor.arg("node"), node_t.size(), line=408)
+    if not fix_perf:
+        pmdk.tx_add(b, recolor.arg("node"), node_t.size(), line=410)  # BUG(new)
+    cf = b.getfield(recolor.arg("node"), "color", line=412)
+    b.store(1, cf, line=412)
+    pmdk.tx_end(b, line=415)
+    b.ret()
+
+    # -- balance: modified node flushed but not fenced before the next
+    # update (studied bug at 379: "modified object not made durable").
+    balance = mod.define_function("rbtree_map_balance", ty.VOID,
+                                  [("node", node_p)], source_file=SRC)
+    b = IRBuilder(balance)
+    cf = b.getfield(balance.arg("node"), "color", line=377)
+    b.store(1, cf, line=377)
+    pmdk.flush(b, cf, 8, line=379)  # BUG(studied): no drain before next write
+    if fix_viol:
+        pmdk.drain(b, line=380)
+    b.store(0, cf, line=381)
+    pmdk.flush(b, cf, 8, line=382)
+    pmdk.drain(b, line=383)
+    b.ret()
+
+    # -- flush_twice: redundant persist of the value field (new bug at 259).
+    flush_twice = mod.define_function("rbtree_map_flush_twice", ty.VOID,
+                                      [("node", node_p)], source_file=SRC)
+    b = IRBuilder(flush_twice)
+    vf = b.getfield(flush_twice.arg("node"), "value", line=256)
+    b.store(7, vf, line=256)
+    pmdk.persist(b, vf, 8, line=257)
+    if not fix_perf:
+        pmdk.persist(b, vf, 8, line=259)  # BUG(new): redundant write-back
+    b.ret()
+
+    # -- sync: FALSE POSITIVE — flushing each element of a node array in a
+    # loop; static loop unrolling sees "the same" symbolic element flushed
+    # repeatedly and reports a redundant write-back (§5.4, conservative
+    # analysis without dynamic context).
+    sync = mod.define_function("rbtree_map_sync", ty.VOID,
+                               [("nodes", node_p), ("n", ty.I64)],
+                               source_file=SRC)
+    b = IRBuilder(sync)
+    pmdk.memset_persist(b, sync.arg("nodes"), 0, 4 * node_t.size(), line=296)
+
+    def sync_body(b: IRBuilder, iv) -> None:
+        elem = b.getelem(sync.arg("nodes"), iv, line=299)
+        pmdk.flush(b, elem, node_t.size(), line=300)  # FP site
+
+    counted_loop(b, sync.arg("n"), sync_body, line=298)
+    pmdk.drain(b, line=302)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        n1 = b.palloc(node_t, line=500)
+        n2 = b.palloc(node_t, line=501)
+        n3 = b.palloc(node_t, line=502)
+        n4 = b.palloc(node_t, line=503)
+        arr = b.palloc(node_t, 4, line=504)
+        b.call(insert, [n1], line=505)
+        b.call(rotate, [n2], line=506)
+        b.call(recolor, [n3], line=507)
+        b.call(balance, [n1], line=508)
+        b.call(flush_twice, [n4], line=509)
+        b.call(sync, [arr, b.const(4)], line=510)
+
+    counted_loop(b, repeat, body, line=504)
+    b.ret(0, line=512)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_rbtree_map",
+    framework="pmdk",
+    build=build_rbtree_map,
+    description="Red-black tree example: re-logging unmodified fields, a "
+                "flush without a persist barrier, redundant write-backs",
+    bugs=[
+        BugSpec("pmdk", "rbtree_map.c", 197, CLASS_MULTI_PERSIST_TX,
+                "Log unmodified fields of a tree node (node re-logged in "
+                "one transaction)", "EP", studied=True),
+        BugSpec("pmdk", "rbtree_map.c", 231, CLASS_MULTI_PERSIST_TX,
+                "Log unmodified fields of a tree node during rotation", "EP",
+                studied=True),
+        BugSpec("pmdk", "rbtree_map.c", 379, CLASS_MISSING_BARRIER,
+                "Modified object flushed but not made durable: no persist "
+                "barrier before the next update", "EP", studied=True),
+        BugSpec("pmdk", "rbtree_map.c", 259, CLASS_MULTI_FLUSH,
+                "Flushing unmodified tree-node field a second time", "EP",
+                studied=False),
+        BugSpec("pmdk", "rbtree_map.c", 410, CLASS_MULTI_PERSIST_TX,
+                "Node re-logged within recolor transaction", "EP",
+                studied=False, invented=True),
+        BugSpec("pmdk", "rbtree_map.c", 300, CLASS_MULTI_FLUSH,
+                "False positive: per-element flush in a loop looks redundant "
+                "to the unrolled static analysis", "EP", studied=False,
+                real=False, invented=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# pminvaders.c
+# ---------------------------------------------------------------------------
+
+def build_pminvaders(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmdk_pminvaders", persistency_model="strict")
+    pmdk = PMDK(mod)
+    alien_t = mod.define_struct(
+        "alien",
+        [("timer", ty.I32), ("y", ty.I32), ("x", ty.I32), ("kind", ty.I32),
+         ("sprite", ty.ArrayType(ty.I64, 14))],  # 128 B: two cachelines
+    )
+    star_t = mod.define_struct("star", [("x", ty.I32), ("y", ty.I32)])
+    task_t = mod.define_struct(
+        "pi_task", [("proto", ty.I64), ("pad", ty.ArrayType(ty.I64, 31))]
+    )  # 256 B: four cachelines — Figure 5's whole-object persist is costly
+    alien_p = ty.pointer_to(alien_t)
+    star_p = ty.pointer_to(star_t)
+    task_p = ty.pointer_to(task_t)
+    SRC = "pminvaders.c"
+
+    # -- process_aliens: one field updated, whole alien persisted (studied).
+    aliens_fn = mod.define_function("process_aliens", ty.VOID,
+                                    [("aliens", alien_p), ("n", ty.I64)],
+                                    source_file=SRC)
+    b = IRBuilder(aliens_fn)
+
+    def alien_body(b: IRBuilder, iv) -> None:
+        elem = b.getelem(aliens_fn.arg("aliens"), iv, line=140)
+        tf = b.getfield(elem, "timer", line=141)
+        b.store(5, tf, line=141)
+        if fix_perf:
+            pmdk.persist(b, tf, 4, line=143)
+        else:
+            pmdk.persist(b, elem, alien_t.size(), line=143)  # BUG(studied)
+
+    counted_loop(b, aliens_fn.arg("n"), alien_body, line=139)
+    b.ret()
+
+    # -- process_bullets: same shape on a single alien (studied, 246).
+    bullets_fn = mod.define_function("process_bullets", ty.VOID,
+                                     [("hit", alien_p)], source_file=SRC)
+    b = IRBuilder(bullets_fn)
+    yf = b.getfield(bullets_fn.arg("hit"), "y", line=244)
+    b.store(0, yf, line=244)
+    if fix_perf:
+        pmdk.persist(b, yf, 4, line=246)
+    else:
+        pmdk.persist(b, bullets_fn.arg("hit"), alien_t.size(), line=246)  # BUG
+    b.ret()
+
+    # -- pi_task_construct: the Figure 5 pattern — one 8-byte field set,
+    # the entire 64-byte object persisted (new, 158).
+    task_fn = mod.define_function("pi_task_construct", ty.VOID,
+                                  [("t", task_p)], source_file=SRC)
+    b = IRBuilder(task_fn)
+    pf = b.getfield(task_fn.arg("t"), "proto", line=156)
+    b.store(99, pf, line=156)
+    if fix_perf:
+        pmdk.persist(b, pf, 8, line=158)
+    else:
+        pmdk.persist(b, task_fn.arg("t"), task_t.size(), line=158)  # BUG(new)
+    b.ret()
+
+    # -- five read-only durable transactions (Figure 7 class): the
+    # transaction machinery runs with no persistent write to protect.
+    def read_only_tx(name: str, begin_line: int, end_line: int, studied: bool):
+        fn = mod.define_function(name, ty.I64, [("s", star_p)], source_file=SRC)
+        b = IRBuilder(fn)
+        if not fix_perf:
+            pmdk.tx_begin(b, line=begin_line)  # BUG: durable tx, no writes
+        xf = b.getfield(fn.arg("s"), "x", line=begin_line + 1)
+        x = b.load(xf, line=begin_line + 1)
+        yf = b.getfield(fn.arg("s"), "y", line=begin_line + 2)
+        y = b.load(yf, line=begin_line + 2)
+        total = b.add(x, y, line=begin_line + 2)
+        if not fix_perf:
+            pmdk.tx_end(b, line=end_line)
+        r = b.cast(total, ty.I64, line=end_line)
+        b.ret(r, line=end_line)
+        return fn
+
+    draw_star = read_only_tx("draw_star", 249, 252, studied=False)
+    collisions = read_only_tx("process_collisions", 256, 259, studied=True)
+    score = read_only_tx("update_score", 266, 269, studied=False)
+    game_over = read_only_tx("game_over", 301, 304, studied=True)
+    reset = read_only_tx("reset_game", 351, 354, studied=False)
+
+    # -- draw_title: flush issued, no drain before the next update (new V).
+    title_fn = mod.define_function("draw_title", ty.VOID, [("s", star_p)],
+                                   source_file=SRC)
+    b = IRBuilder(title_fn)
+    xf = b.getfield(title_fn.arg("s"), "x", line=186)
+    b.store(3, xf, line=186)
+    pmdk.flush(b, xf, 4, line=188)  # BUG(new): missing persist barrier
+    if fix_viol:
+        pmdk.drain(b, line=189)
+    b.store(4, xf, line=190)
+    pmdk.flush(b, xf, 4, line=191)
+    pmdk.drain(b, line=192)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        aliens = b.palloc(alien_t, 4, line=600)
+        hit = b.palloc(alien_t, line=601)
+        star = b.palloc(star_t, line=602)
+        task = b.palloc(task_t, line=603)
+        b.call(title_fn, [star], line=610)
+        b.call(aliens_fn, [aliens, b.const(4)], line=611)
+        b.call(bullets_fn, [hit], line=612)
+        b.call(task_fn, [task], line=613)
+        b.call(draw_star, [star], line=614)
+        b.call(collisions, [star], line=615)
+        b.call(score, [star], line=616)
+        b.call(game_over, [star], line=617)
+        b.call(reset, [star], line=618)
+
+    counted_loop(b, repeat, body, line=605)
+    b.ret(0, line=620)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_pminvaders",
+    framework="pmdk",
+    build=build_pminvaders,
+    description="PM-Invaders game example: whole-object persists of "
+                "single-field updates (Figure 5), read-only durable "
+                "transactions (Figure 7), a missing persist barrier",
+    bugs=[
+        BugSpec("pmdk", "pminvaders.c", 143, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified fields of an alien (only timer updated)",
+                "EP", studied=True),
+        BugSpec("pmdk", "pminvaders.c", 246, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified fields of a hit alien (only y updated)",
+                "EP", studied=True),
+        BugSpec("pmdk", "pminvaders.c", 158, CLASS_FLUSH_UNMODIFIED,
+                "pi_task_construct persists the whole task when one field "
+                "is modified (Figure 5)", "EP", studied=False, invented=True),
+        BugSpec("pmdk", "pminvaders.c", 249, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes (star draw)",
+                "EP", studied=False),
+        BugSpec("pmdk", "pminvaders.c", 256, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes (collision "
+                "scan)", "EP", studied=True),
+        BugSpec("pmdk", "pminvaders.c", 266, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes (score "
+                "refresh)", "EP", studied=False),
+        BugSpec("pmdk", "pminvaders.c", 301, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes (game-over "
+                "screen)", "EP", studied=True),
+        BugSpec("pmdk", "pminvaders.c", 351, CLASS_EMPTY_TX,
+                "Durable transaction without persistent writes (reset)",
+                "EP", studied=False),
+        BugSpec("pmdk", "pminvaders.c", 188, CLASS_MISSING_BARRIER,
+                "Flush of title star not followed by a persist barrier "
+                "before the next update", "EP", studied=False, invented=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# hash_map.c / hashmap_atomic.c / obj_pmemlog*.c — semantic-mismatch bugs
+# ---------------------------------------------------------------------------
+
+def _mismatch_pair(mod: Module, pmdk: PMDK, fn_name: str, src: str,
+                   root_p, field_a: str, field_b: str,
+                   lines, fixed: bool):
+    """Two consecutive transactions writing disjoint fields of one object —
+    the Figure 1 shape. ``lines`` = (tx1, store_a, tx1_end, tx2, store_b,
+    tx2_end); the warning lands on the second store's line."""
+    l_tx1, l_a, l_e1, l_tx2, l_b, l_e2 = lines
+    fn = mod.define_function(fn_name, ty.VOID, [("root", root_p)], source_file=src)
+    b = IRBuilder(fn)
+    pmdk.tx_begin(b, line=l_tx1)
+    fa = b.getfield(fn.arg("root"), field_a, line=l_a)
+    pmdk.tx_add(b, fa, 8, line=l_a)
+    b.store(1, fa, line=l_a)
+    if fixed:
+        # one atomic transaction covering both fields
+        fb = b.getfield(fn.arg("root"), field_b, line=l_b)
+        pmdk.tx_add(b, fb, 8, line=l_b)
+        b.store(2, fb, line=l_b)
+        pmdk.tx_end(b, line=l_e2)
+    else:
+        pmdk.tx_end(b, line=l_e1)
+        pmdk.tx_begin(b, line=l_tx2)  # BUG: second epoch, same object
+        fb = b.getfield(fn.arg("root"), field_b, line=l_b)
+        pmdk.tx_add(b, fb, 8, line=l_b)
+        b.store(2, fb, line=l_b)
+        pmdk.tx_end(b, line=l_e2)
+    b.ret()
+    return fn
+
+
+def build_hashmap(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmdk_hashmap", persistency_model="strict")
+    pmdk = PMDK(mod)
+    root_t = mod.define_struct(
+        "hashmap_root",
+        [("nbuckets", ty.I64), ("count", ty.I64), ("capacity", ty.I64),
+         ("seed", ty.I64)],
+    )
+    root_p = ty.pointer_to(root_t)
+    SRC = "hash_map.c"
+
+    create = _mismatch_pair(mod, pmdk, "hm_create", SRC, root_p,
+                            "seed", "nbuckets",
+                            (115, 117, 118, 119, 120, 121), fix_viol)
+    rebuild = _mismatch_pair(mod, pmdk, "hm_rebuild", SRC, root_p,
+                             "capacity", "count",
+                             (260, 262, 263, 263, 264, 265), fix_viol)
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        r1 = b.palloc(root_t, line=400)
+        r2 = b.palloc(root_t, line=401)
+        b.call(create, [r1], line=405)
+        b.call(rebuild, [r2], line=406)
+
+    counted_loop(b, repeat, body, line=403)
+    b.ret(0, line=408)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_hashmap",
+    framework="pmdk",
+    build=build_hashmap,
+    description="Hashmap example: object initialization split across "
+                "separate transactions (the Figure 1 semantic gap)",
+    bugs=[
+        BugSpec("pmdk", "hash_map.c", 120, CLASS_MISMATCH,
+                "Multiple epochs writing to different fields of the hashmap "
+                "root during creation", "EP", studied=True),
+        BugSpec("pmdk", "hash_map.c", 264, CLASS_MISMATCH,
+                "Multiple epochs writing to different fields of the hashmap "
+                "root during rebuild", "EP", studied=True),
+    ],
+))
+
+
+def build_hashmap_atomic(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmdk_hashmap_atomic", persistency_model="strict")
+    pmdk = PMDK(mod)
+    root_t = mod.define_struct(
+        "hashmap_atomic_root",
+        [("nbuckets", ty.I64), ("count", ty.I64), ("capacity", ty.I64),
+         ("seed", ty.I64)],
+    )
+    root_p = ty.pointer_to(root_t)
+    SRC = "hashmap_atomic.c"
+
+    create = _mismatch_pair(mod, pmdk, "hm_atomic_create", SRC, root_p,
+                            "capacity", "nbuckets",
+                            (115, 117, 118, 119, 120, 121), fix_viol)
+    update = _mismatch_pair(mod, pmdk, "hm_atomic_update", SRC, root_p,
+                            "capacity", "count",
+                            (260, 262, 263, 263, 264, 265), fix_viol)
+    # FALSE POSITIVE: count and seed are genuinely independent — the
+    # programmer intends two separate atomic updates; the rule cannot know
+    # that (§5.4, "programmers might implement the persistency model in a
+    # way according to their own intentions").
+    stats = _mismatch_pair(mod, pmdk, "hm_atomic_set_stats", SRC, root_p,
+                           "count", "seed",
+                           (492, 493, 494, 495, 496, 497), fixed=False)
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        r1 = b.palloc(root_t, line=600)
+        r2 = b.palloc(root_t, line=601)
+        r3 = b.palloc(root_t, line=602)
+        b.call(create, [r1], line=605)
+        b.call(update, [r2], line=606)
+        b.call(stats, [r3], line=607)
+
+    counted_loop(b, repeat, body, line=603)
+    b.ret(0, line=609)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_hashmap_atomic",
+    framework="pmdk",
+    build=build_hashmap_atomic,
+    description="Atomic-API hashmap: per-field atomic sections where the "
+                "program semantics require one atomic update",
+    bugs=[
+        BugSpec("pmdk", "hashmap_atomic.c", 120, CLASS_MISMATCH,
+                "Multiple epochs write different fields of the root "
+                "(creation must be atomic)", "EP", studied=False),
+        BugSpec("pmdk", "hashmap_atomic.c", 264, CLASS_MISMATCH,
+                "Multiple epochs write different fields of the root "
+                "(capacity/count update must be atomic)", "EP", studied=False),
+        BugSpec("pmdk", "hashmap_atomic.c", 496, CLASS_MISMATCH,
+                "False positive: count and seed are intentionally updated "
+                "in separate atomic sections", "EP", studied=False,
+                real=False, invented=True),
+    ],
+))
+
+
+def _pmemlog_program(name: str, src: str, line_a: int, line_b: int,
+                     studied: bool):
+    def build(fixed=False, repeat: int = 1) -> Module:
+        _fix_perf, fix_viol = fix_flags(fixed)
+        mod = Module(name, persistency_model="strict")
+        pmdk = PMDK(mod)
+        log_t = mod.define_struct(
+            f"{name}_hdr", [("write_offset", ty.I64), ("length", ty.I64)]
+        )
+        log_p = ty.pointer_to(log_t)
+        append = _mismatch_pair(
+            mod, pmdk, "pmemlog_append", src, log_p,
+            "write_offset", "length",
+            (line_a - 2, line_a, line_a + 1, line_b - 1, line_b, line_b + 1),
+            fix_viol,
+        )
+        # Straight-line driver: a loop here would pair iteration N's
+        # length-group with iteration N+1's offset-group and produce a
+        # spurious cross-iteration mismatch warning.
+        main = mod.define_function("main", ty.I64, [], source_file=src)
+        b = IRBuilder(main)
+        log = b.palloc(log_t, line=300)
+        b.call(append, [log], line=305)
+        b.ret(0, line=307)
+        return mod
+
+    return build
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_obj_pmemlog",
+    framework="pmdk",
+    build=_pmemlog_program("pmdk_obj_pmemlog", "obj_pmemlog.c", 89, 91,
+                           studied=True),
+    description="pmemlog: log header fields persisted in separate epochs",
+    bugs=[
+        BugSpec("pmdk", "obj_pmemlog.c", 91, CLASS_MISMATCH,
+                "Multiple epochs writing to different fields of the log "
+                "header", "LIB", studied=True),
+    ],
+))
+
+REGISTRY.register(CorpusProgram(
+    name="pmdk_obj_pmemlog_simple",
+    framework="pmdk",
+    build=_pmemlog_program("pmdk_obj_pmemlog_simple", "obj_pmemlog_simple.c",
+                           205, 207, studied=False),
+    description="Simplified pmemlog: same split-epoch header update",
+    bugs=[
+        BugSpec("pmdk", "obj_pmemlog_simple.c", 207, CLASS_MISMATCH,
+                "Multiple epochs writing to different fields of the log "
+                "header", "LIB", studied=False),
+    ],
+))

@@ -1,0 +1,388 @@
+"""PMFS corpus: reconstructions of the paper's PMFS bugs (epoch model).
+
+Five programs mirroring ``symlink.c`` (+ its ``namei.c`` caller, Figure 4),
+``journal.c``, ``xips.c``, ``files.c`` and ``super.c``.
+"""
+
+from __future__ import annotations
+
+from ..frameworks import PMFS
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.module import Module
+from .registry import (
+    CLASS_FLUSH_UNMODIFIED,
+    CLASS_MULTI_FLUSH,
+    CLASS_MULTI_WRITE,
+    CLASS_NESTED_BARRIER,
+    REGISTRY,
+    BugSpec,
+    CorpusProgram,
+    fix_flags,
+)
+from .util import counted_loop, if_then
+
+
+# ---------------------------------------------------------------------------
+# symlink.c / namei.c — Figure 4: missing barrier in a nested transaction
+# ---------------------------------------------------------------------------
+
+def build_symlink(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmfs_symlink", persistency_model="epoch")
+    pmfs = PMFS(mod)
+    inode_t = mod.define_struct(
+        "pmfs_inode", [("i_size", ty.I64), ("i_mtime", ty.I64)]
+    )
+    block_t = ty.ArrayType(ty.I8, 64)
+    inode_p = ty.pointer_to(inode_t)
+    block_p = ty.pointer_to(block_t)
+
+    # inner transaction (symlink.c): writes the symlink block, flushes it,
+    # but ends without a persist barrier (line 38).
+    inner = mod.define_function("pmfs_block_symlink", ty.VOID,
+                                [("blockp", block_p)], source_file="symlink.c")
+    b = IRBuilder(inner)
+    pmfs.new_transaction(b, line=30)
+    b.memset(inner.arg("blockp"), 0x2F, 64, line=34)
+    pmfs.flush_buffer(b, inner.arg("blockp"), 64, fence=False, line=36)
+    if fix_viol:
+        pmfs.commit_transaction(b, line=38)
+    else:
+        pmfs.commit_transaction_no_barrier(b, line=38)  # BUG(studied)
+    b.ret()
+
+    # outer transaction (namei.c) invoking the inner one mid-flight.
+    outer = mod.define_function("pmfs_symlink", ty.VOID,
+                                [("inode", inode_p), ("blockp", block_p)],
+                                source_file="namei.c")
+    b = IRBuilder(outer)
+    pmfs.new_transaction(b, line=110)
+    szf = b.getfield(outer.arg("inode"), "i_size", line=112)
+    pmfs.add_logentry(b, szf, 8, line=112)
+    b.store(64, szf, line=113)
+    b.call(inner, [outer.arg("blockp")], line=115)
+    pmfs.commit_transaction(b, line=120)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file="namei.c")
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        inode = b.palloc(inode_t, line=300)
+        block = b.palloc(block_t, line=301)
+        b.call(outer, [inode, block], line=305)
+
+    counted_loop(b, repeat, body, line=303)
+    b.ret(0, line=307)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmfs_symlink",
+    framework="pmfs",
+    build=build_symlink,
+    description="Figure 4: symlink block written in an inner transaction "
+                "that ends without a persist barrier",
+    bugs=[
+        BugSpec("pmfs", "symlink.c", 38, CLASS_NESTED_BARRIER,
+                "Missing persist barrier at the end of the inner "
+                "transaction invoked from pmfs_symlink", "LIB", studied=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# journal.c — commit makes several independent writes durable at once
+# ---------------------------------------------------------------------------
+
+def build_journal(fixed=False, repeat: int = 1) -> Module:
+    _fix_perf, fix_viol = fix_flags(fixed)
+    mod = Module("pmfs_journal", persistency_model="epoch")
+    pmfs = PMFS(mod)
+    journal_t = mod.define_struct(
+        "pmfs_journal", [("head", ty.I64), ("tail", ty.I64), ("gen_id", ty.I64)]
+    )
+    journal_p = ty.pointer_to(journal_t)
+    entry_p = ty.pointer_to(ty.I64)
+
+    # pmfs_commit_journal: head, tail and gen_id updates — three logically
+    # independent durability points — are all made durable by the single
+    # barrier at line 632 (studied bug; under the intended epoch discipline
+    # each record update persists separately).
+    commit = mod.define_function("pmfs_commit_journal", ty.VOID,
+                                 [("j", journal_p)], source_file="journal.c")
+    b = IRBuilder(commit)
+    if fix_viol:
+        # The repair: make the three header updates one journaled epoch so
+        # their joint durability is the *declared* semantics.
+        pmfs.new_transaction(b, line=625)
+        pmfs.add_logentry(b, commit.arg("j"), journal_t.size(), line=625)
+    hf = b.getfield(commit.arg("j"), "head", line=626)
+    b.store(8, hf, line=626)
+    if not fix_viol:
+        pmfs.flush_buffer(b, hf, 8, fence=False, line=627)
+    tf = b.getfield(commit.arg("j"), "tail", line=628)
+    b.store(16, tf, line=628)
+    if not fix_viol:
+        pmfs.flush_buffer(b, tf, 8, fence=False, line=629)
+    gf = b.getfield(commit.arg("j"), "gen_id", line=630)
+    b.store(1, gf, line=630)
+    if fix_viol:
+        # the journal epoch's commit flushes the logged header once
+        pmfs.commit_transaction(b, line=632)
+    else:
+        pmfs.flush_buffer(b, gf, 8, fence=False, line=631)
+        pmfs.barrier(b, line=632)  # BUG(studied): one barrier for all three
+    b.ret()
+
+    # pmfs_update_entries: FALSE POSITIVE — the two stores go through two
+    # separately-loaded indices that are equal at runtime; the symbolic
+    # analysis cannot prove it and counts two distinct durable writes.
+    update = mod.define_function("pmfs_update_entries", ty.VOID,
+                                 [("le", entry_p)], source_file="journal.c")
+    b = IRBuilder(update)
+    idx = b.alloca(ty.I64, line=670)
+    b.store(1, idx, line=670)
+    i1 = b.load(idx, line=675)
+    e1 = b.getelem(update.arg("le"), i1, line=676)
+    b.store(11, e1, line=676)
+    pmfs.flush_buffer(b, e1, 8, fence=False, line=677)
+    i2 = b.load(idx, line=678)
+    e2 = b.getelem(update.arg("le"), i2, line=678)
+    b.store(12, e2, line=678)
+    pmfs.flush_buffer(b, e2, 8, fence=False, line=679)
+    pmfs.barrier(b, line=680)  # FP site
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file="journal.c")
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        j = b.palloc(journal_t, line=700)
+        le = b.palloc(ty.I64, 8, line=701)
+        b.call(commit, [j], line=705)
+        b.call(update, [le], line=706)
+
+    counted_loop(b, repeat, body, line=703)
+    b.ret(0, line=708)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmfs_journal",
+    framework="pmfs",
+    build=build_journal,
+    description="Journal commit: multiple independent updates made durable "
+                "by one barrier; plus an alias-blind false positive",
+    bugs=[
+        BugSpec("pmfs", "journal.c", 632, CLASS_MULTI_WRITE,
+                "Journal head/tail/gen_id updates are all made durable at "
+                "once by the commit barrier", "LIB", studied=True),
+        BugSpec("pmfs", "journal.c", 680, CLASS_MULTI_WRITE,
+                "False positive: two stores through runtime-equal indices "
+                "counted as distinct writes", "LIB", studied=False,
+                real=False, invented=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# xips.c — the same buffer flushed repeatedly
+# ---------------------------------------------------------------------------
+
+def build_xips(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("pmfs_xips", persistency_model="epoch")
+    pmfs = PMFS(mod)
+    buf_t = ty.ArrayType(ty.I8, 64)
+    buf_p = ty.pointer_to(buf_t)
+    SRC = "xips.c"
+
+    def double_flush(name: str, l_write: int, l_f1: int, l_f2: int,
+                     l_fence: int):
+        fn = mod.define_function(name, ty.VOID, [("buf", buf_p)],
+                                 source_file=SRC)
+        b = IRBuilder(fn)
+        b.memset(fn.arg("buf"), 0x41, 64, line=l_write)
+        pmfs.flush_buffer(b, fn.arg("buf"), 64, fence=False, line=l_f1)
+        if not fix_perf:
+            # BUG: the same (unmodified) buffer flushed a second time
+            pmfs.flush_buffer(b, fn.arg("buf"), 64, fence=False, line=l_f2)
+        pmfs.barrier(b, line=l_fence)
+        b.ret()
+        return fn
+
+    write_fn = double_flush("xip_file_write", 203, 205, 207, 208)
+    sync_fn = double_flush("xip_file_sync", 258, 260, 262, 263)
+    trunc_fn = double_flush("xip_file_truncate", 306, 308, 310, 311)
+
+    main = mod.define_function("main", ty.I64, [], source_file=SRC)
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        b1 = b.palloc(buf_t, line=400)
+        b2 = b.palloc(buf_t, line=401)
+        b3 = b.palloc(buf_t, line=402)
+        b.call(write_fn, [b1], line=405)
+        b.call(sync_fn, [b2], line=406)
+        b.call(trunc_fn, [b3], line=407)
+
+    counted_loop(b, repeat, body, line=403)
+    b.ret(0, line=409)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmfs_xips",
+    framework="pmfs",
+    build=build_xips,
+    description="Execute-in-place paths flushing the same buffer twice",
+    bugs=[
+        BugSpec("pmfs", "xips.c", 207, CLASS_MULTI_FLUSH,
+                "Flush the same buffer multiple times (file write path)",
+                "LIB", studied=True),
+        BugSpec("pmfs", "xips.c", 262, CLASS_MULTI_FLUSH,
+                "Flush the same buffer multiple times (sync path)",
+                "LIB", studied=True),
+        BugSpec("pmfs", "xips.c", 310, CLASS_MULTI_FLUSH,
+                "Flush the same buffer multiple times (truncate path)",
+                "LIB", studied=False, invented=True, dynamic=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# files.c — flushing an object nobody modified
+# ---------------------------------------------------------------------------
+
+def build_files(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("pmfs_files", persistency_model="epoch")
+    pmfs = PMFS(mod)
+    inode_t = mod.define_struct(
+        "pmfs_inode2",
+        [("i_mtime", ty.I64), ("i_ctime", ty.I64), ("i_size", ty.I64),
+         ("pad", ty.ArrayType(ty.I64, 29))],  # 256 B: four cachelines
+    )
+    inode_p = ty.pointer_to(inode_t)
+
+    update = mod.define_function("pmfs_update_time", ty.VOID,
+                                 [("inode", inode_p)], source_file="files.c")
+    b = IRBuilder(update)
+    mf = b.getfield(update.arg("inode"), "i_mtime", line=230)
+    b.store(42, mf, line=230)
+    if fix_perf:
+        pmfs.flush_buffer(b, mf, 8, fence=False, line=232)
+    else:
+        # BUG(studied): the whole inode is written back although only
+        # i_mtime changed — three of its four cachelines are unmodified
+        pmfs.flush_buffer(b, update.arg("inode"), inode_t.size(),
+                          fence=False, line=232)
+    pmfs.barrier(b, line=233)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file="files.c")
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        inode = b.palloc(inode_t, line=300)
+        b.call(update, [inode], line=305)
+
+    counted_loop(b, repeat, body, line=303)
+    b.ret(0, line=307)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmfs_files",
+    framework="pmfs",
+    build=build_files,
+    description="pmfs_update_time flushes an unmodified inode",
+    bugs=[
+        BugSpec("pmfs", "files.c", 232, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified fields: whole inode written back for an "
+                "mtime update", "LIB", studied=True),
+    ],
+))
+
+
+# ---------------------------------------------------------------------------
+# super.c — superblock recovery flushes fields it never wrote
+# ---------------------------------------------------------------------------
+
+def build_super(fixed=False, repeat: int = 1) -> Module:
+    fix_perf, _fix_viol = fix_flags(fixed)
+    mod = Module("pmfs_super", persistency_model="epoch")
+    pmfs = PMFS(mod)
+    sb_t = mod.define_struct(
+        "pmfs_super_block",
+        [("s_sum", ty.I64), ("s_magic", ty.I64), ("s_size", ty.I64),
+         ("pad", ty.ArrayType(ty.I64, 5))],
+    )
+    sb_p = ty.pointer_to(sb_t)
+
+    recover = mod.define_function(
+        "pmfs_recover_super", ty.VOID,
+        [("sb", sb_p), ("redund", sb_p), ("crc_bad", ty.I64)],
+        source_file="super.c",
+    )
+    b = IRBuilder(recover)
+    if not fix_perf:
+        # BUG(new, x3): checksum/magic/size fields flushed although the
+        # successful-recovery path never modified them.
+        sumf = b.getfield(recover.arg("sb"), "s_sum", line=542)
+        pmfs.flush_buffer(b, sumf, 8, fence=False, line=542)
+        magf = b.getfield(recover.arg("sb"), "s_magic", line=543)
+        pmfs.flush_buffer(b, magf, 8, fence=False, line=543)
+        szf = b.getfield(recover.arg("sb"), "s_size", line=579)
+        pmfs.flush_buffer(b, szf, 8, fence=False, line=579)
+    # FALSE POSITIVE at 584: the redundant copy is rewritten only when the
+    # checksum was bad, but it is flushed unconditionally; on the common
+    # path the checker sees a flush with no preceding write.
+    bad = b.icmp("ne", recover.arg("crc_bad"), 0, line=581)
+
+    def repair(b: IRBuilder) -> None:
+        b.memset(recover.arg("redund"), 7, sb_t.size(), line=582)
+
+    if_then(b, bad, repair, line=581)
+    pmfs.flush_buffer(b, recover.arg("redund"), sb_t.size(),
+                      fence=False, line=584)  # FP site
+    pmfs.barrier(b, line=590)
+    b.ret()
+
+    main = mod.define_function("main", ty.I64, [], source_file="super.c")
+    b = IRBuilder(main)
+
+    def body(b: IRBuilder, _iv) -> None:
+        sb = b.palloc(sb_t, line=700)
+        redund = b.palloc(sb_t, line=701)
+        b.call(recover, [sb, redund, b.const(0)], line=705)
+
+    counted_loop(b, repeat, body, line=703)
+    b.ret(0, line=707)
+    return mod
+
+
+REGISTRY.register(CorpusProgram(
+    name="pmfs_super",
+    framework="pmfs",
+    build=build_super,
+    description="Superblock recovery writes back fields that were never "
+                "modified; the redundant-copy flush is a false positive",
+    bugs=[
+        BugSpec("pmfs", "super.c", 542, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified checksum field after successful recovery",
+                "LIB", studied=False, dynamic=True),
+        BugSpec("pmfs", "super.c", 543, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified magic field after successful recovery",
+                "LIB", studied=False, dynamic=True),
+        BugSpec("pmfs", "super.c", 579, CLASS_FLUSH_UNMODIFIED,
+                "Flush unmodified size field after successful recovery",
+                "LIB", studied=False, dynamic=True),
+        BugSpec("pmfs", "super.c", 584, CLASS_FLUSH_UNMODIFIED,
+                "False positive: redundant copy is written on the repair "
+                "path the static analysis cannot correlate", "LIB",
+                studied=False, real=False, invented=True),
+    ],
+))

@@ -1,0 +1,226 @@
+"""Bug-corpus registry: ground truth for the evaluation.
+
+Every warning DeepMC reports in the paper's evaluation corresponds to a
+:class:`BugSpec` here — 43 validated bugs (19 from the §3 study, 24 new)
+plus 7 false positives, matching Table 1 cell-for-cell. Programs carry a
+``build(fixed=False)`` factory returning a fresh module; ``fixed=True``
+produces the repaired variant used by the performance-fix experiments.
+
+Coordinates come from Tables 3 and 8 wherever the paper records them; the
+handful the paper's tables omit (its totals don't fully reconcile — see
+EXPERIMENTS.md) are marked ``invented=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import CorpusError
+from ..ir.module import Module
+
+# Table 1 bug-class row labels.
+CLASS_MULTI_WRITE = "Multiple writes made durable at once"
+CLASS_UNFLUSHED = "Unflushed write"
+CLASS_MISSING_BARRIER = "Missing persist barriers"
+CLASS_NESTED_BARRIER = "Missing persist barriers in nested transactions"
+CLASS_MISMATCH = "Mismatch between program semantics and model"
+CLASS_MULTI_FLUSH = "Multiple flushes to a persistent object"
+CLASS_FLUSH_UNMODIFIED = "Flush an unmodified object"
+CLASS_MULTI_PERSIST_TX = "Persist the same object multiple times in a transaction"
+CLASS_EMPTY_TX = "Durable transaction without persistent writes"
+
+VIOLATION_CLASSES = (
+    CLASS_MULTI_WRITE,
+    CLASS_UNFLUSHED,
+    CLASS_MISSING_BARRIER,
+    CLASS_NESTED_BARRIER,
+    CLASS_MISMATCH,
+)
+PERFORMANCE_CLASSES = (
+    CLASS_MULTI_FLUSH,
+    CLASS_FLUSH_UNMODIFIED,
+    CLASS_MULTI_PERSIST_TX,
+    CLASS_EMPTY_TX,
+)
+ALL_CLASSES = VIOLATION_CLASSES + PERFORMANCE_CLASSES
+
+#: bug class -> static rule id, per model family.
+CLASS_TO_RULE = {
+    (CLASS_MULTI_WRITE, "strict"): "strict.multi-write-barrier",
+    (CLASS_MULTI_WRITE, "epoch"): "strict.multi-write-barrier",
+    (CLASS_UNFLUSHED, "strict"): "strict.unflushed-write",
+    (CLASS_UNFLUSHED, "epoch"): "epoch.unflushed-write",
+    (CLASS_MISSING_BARRIER, "strict"): "strict.missing-barrier",
+    (CLASS_NESTED_BARRIER, "epoch"): "epoch.nested-missing-barrier",
+    (CLASS_MISMATCH, "strict"): "epoch.semantic-mismatch",
+    (CLASS_MISMATCH, "epoch"): "epoch.semantic-mismatch",
+    (CLASS_MULTI_FLUSH, "strict"): "perf.redundant-flush",
+    (CLASS_MULTI_FLUSH, "epoch"): "perf.redundant-flush",
+    (CLASS_FLUSH_UNMODIFIED, "strict"): "perf.flush-unmodified",
+    (CLASS_FLUSH_UNMODIFIED, "epoch"): "perf.flush-unmodified",
+    (CLASS_MULTI_PERSIST_TX, "strict"): "perf.multi-persist-tx",
+    (CLASS_MULTI_PERSIST_TX, "epoch"): "perf.multi-persist-tx",
+    (CLASS_EMPTY_TX, "strict"): "perf.empty-durable-tx",
+    (CLASS_EMPTY_TX, "epoch"): "perf.empty-durable-tx",
+}
+
+#: Table 8 ages (years a bug had existed), per framework.
+FRAMEWORK_AGE_YEARS = {
+    "pmdk": 4.4,
+    "pmfs": 3.2,
+    "nvm_direct": 5.3,
+    "mnemosyne": 10.0,
+}
+
+FRAMEWORK_MODEL = {
+    "pmdk": "strict",
+    "pmfs": "epoch",
+    "nvm_direct": "strict",
+    "mnemosyne": "epoch",
+}
+
+#: display names used by the table benches.
+FRAMEWORK_DISPLAY = {
+    "pmdk": "PMDK",
+    "pmfs": "PMFS",
+    "nvm_direct": "NVM-Direct",
+    "mnemosyne": "Mnemosyne",
+}
+
+
+def fix_flags(fixed) -> "Tuple[bool, bool]":
+    """Interpret a ``build(fixed=...)`` argument.
+
+    Returns ``(fix_performance, fix_violations)``:
+
+    * ``False`` — the buggy original;
+    * ``True`` — everything repaired;
+    * ``"perf"`` — only the performance bugs repaired, matching §5.1's
+      "we manually fix them and see application performance improvement"
+      (violation fixes *add* necessary persist work and are excluded from
+      the speedup measurement).
+    """
+    if fixed == "perf":
+        return True, False
+    return bool(fixed), bool(fixed)
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One warning site with its ground-truth classification."""
+
+    framework: str
+    file: str
+    line: int
+    bug_class: str
+    description: str
+    location: str          # "LIB" or "EP"
+    studied: bool          # in the §3 study (Table 3) vs new (Table 8)
+    real: bool = True      # validated bug; False = false positive
+    invented: bool = False  # coordinate not recorded in the paper's tables
+    dynamic: bool = False  # (also) confirmed by dynamic observation
+
+    def __post_init__(self) -> None:
+        if self.bug_class not in ALL_CLASSES:
+            raise CorpusError(f"unknown bug class {self.bug_class!r}")
+        if self.location not in ("LIB", "EP"):
+            raise CorpusError(f"location must be LIB or EP, got {self.location!r}")
+
+    @property
+    def bug_id(self) -> str:
+        return f"{self.framework}/{self.file}:{self.line}"
+
+    @property
+    def category(self) -> str:
+        return "violation" if self.bug_class in VIOLATION_CLASSES else "performance"
+
+    @property
+    def rule_id(self) -> str:
+        return CLASS_TO_RULE[(self.bug_class, FRAMEWORK_MODEL[self.framework])]
+
+    @property
+    def years(self) -> float:
+        return FRAMEWORK_AGE_YEARS[self.framework]
+
+
+@dataclass
+class CorpusProgram:
+    """One buggy program: a module factory plus its warning ground truth."""
+
+    name: str
+    framework: str
+    build: Callable[..., Module]  # build(fixed=False) -> fresh Module
+    bugs: List[BugSpec]
+    #: entry point for dynamic/VM runs ("" if not executable standalone)
+    entry: str = "main"
+    description: str = ""
+
+    @property
+    def model(self) -> str:
+        return FRAMEWORK_MODEL[self.framework]
+
+    def real_bugs(self) -> List[BugSpec]:
+        return [b for b in self.bugs if b.real]
+
+    def false_positives(self) -> List[BugSpec]:
+        return [b for b in self.bugs if not b.real]
+
+
+class CorpusRegistry:
+    """All corpus programs, with aggregate queries used by the benches."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[str, CorpusProgram] = {}
+
+    def register(self, program: CorpusProgram) -> CorpusProgram:
+        if program.name in self._programs:
+            raise CorpusError(f"corpus program {program.name!r} already registered")
+        self._programs[program.name] = program
+        return program
+
+    def program(self, name: str) -> CorpusProgram:
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise CorpusError(f"no corpus program {name!r}") from None
+
+    def programs(self, framework: Optional[str] = None) -> List[CorpusProgram]:
+        out = [
+            p for p in self._programs.values()
+            if framework is None or p.framework == framework
+        ]
+        return sorted(out, key=lambda p: p.name)
+
+    def bugs(self, framework: Optional[str] = None,
+             studied: Optional[bool] = None,
+             real: Optional[bool] = None) -> List[BugSpec]:
+        out: List[BugSpec] = []
+        for p in self.programs(framework):
+            for b in p.bugs:
+                if studied is not None and b.studied != studied:
+                    continue
+                if real is not None and b.real != real:
+                    continue
+                out.append(b)
+        return sorted(out, key=lambda b: (b.framework, b.file, b.line))
+
+    def matrix(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Table 1 structure: class -> framework -> {validated, warnings}."""
+        out: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for cls in ALL_CLASSES:
+            out[cls] = {}
+            for fw in FRAMEWORK_MODEL:
+                cell = {"validated": 0, "warnings": 0}
+                for b in self.bugs(framework=fw):
+                    if b.bug_class != cls:
+                        continue
+                    cell["warnings"] += 1
+                    if b.real:
+                        cell["validated"] += 1
+                out[cls][fw] = cell
+        return out
+
+
+#: the singleton registry, populated by the per-framework corpus modules.
+REGISTRY = CorpusRegistry()

@@ -1,0 +1,92 @@
+"""Small IR-construction helpers shared by corpus programs and apps."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..ir.builder import IRBuilder
+from ..ir.values import Value
+
+_loop_ids = itertools.count(1)
+
+
+def counted_loop(b: IRBuilder, count, body: Callable[[IRBuilder, Value], None],
+                 line: Optional[int] = None) -> None:
+    """Emit ``for (i = 0; i < count; i++) body(i)``.
+
+    ``body`` receives the builder positioned inside the loop body and the
+    current induction value (an i64). The builder is left positioned in the
+    exit block.
+    """
+    n = next(_loop_ids)
+    cond_bb = b.new_block(f"loop{n}.cond")
+    body_bb = b.new_block(f"loop{n}.body")
+    exit_bb = b.new_block(f"loop{n}.exit")
+
+    from ..ir import types as ty
+
+    ivar = b.alloca(ty.I64, line=line)
+    b.store(0, ivar, line=line)
+    b.jmp(cond_bb, line=line)
+
+    b.position_at(cond_bb)
+    iv = b.load(ivar, line=line)
+    limit = b._value(count)
+    cmp = b.icmp("slt", iv, limit, line=line)
+    b.br(cmp, body_bb, exit_bb, line=line)
+
+    b.position_at(body_bb)
+    iv_body = b.load(ivar, line=line)
+    body(b, iv_body)
+    iv2 = b.load(ivar, line=line)
+    inc = b.add(iv2, 1, line=line)
+    b.store(inc, ivar, line=line)
+    b.jmp(cond_bb, line=line)
+
+    b.position_at(exit_bb)
+
+
+def if_then(b: IRBuilder, cond: Value, then: Callable[[IRBuilder], None],
+            line: Optional[int] = None) -> None:
+    """Emit ``if (cond) { then(); }``; builder ends in the join block."""
+    n = next(_loop_ids)
+    then_bb = b.new_block(f"if{n}.then")
+    join_bb = b.new_block(f"if{n}.join")
+    b.br(cond, then_bb, join_bb, line=line)
+    b.position_at(then_bb)
+    then(b)
+    b.jmp(join_bb, line=line)
+    b.position_at(join_bb)
+
+
+def if_then_else(b: IRBuilder, cond: Value,
+                 then: Callable[[IRBuilder], None],
+                 otherwise: Callable[[IRBuilder], None],
+                 line: Optional[int] = None) -> None:
+    """Emit ``if (cond) { then() } else { otherwise() }``."""
+    n = next(_loop_ids)
+    then_bb = b.new_block(f"ife{n}.then")
+    else_bb = b.new_block(f"ife{n}.else")
+    join_bb = b.new_block(f"ife{n}.join")
+    b.br(cond, then_bb, else_bb, line=line)
+    b.position_at(then_bb)
+    then(b)
+    b.jmp(join_bb, line=line)
+    b.position_at(else_bb)
+    otherwise(b)
+    b.jmp(join_bb, line=line)
+    b.position_at(join_bb)
+
+
+def launder(b: IRBuilder, ptr: Value, line: Optional[int] = None) -> Value:
+    """Round-trip a pointer through an integer cast.
+
+    Semantically a no-op at runtime, but it severs DSA provenance — the
+    deliberate "analysis blind spot" used to reconstruct the paper's
+    conservative-analysis false positives (§5.4).
+    """
+    from ..ir import types as ty
+
+    raw = b.cast(ptr, ty.I64, line=line)
+    return b.cast(raw, ty.pointer_to(ptr.type.pointee), line=line)

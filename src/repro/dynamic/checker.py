@@ -1,0 +1,63 @@
+"""Dynamic checker driver: instrument → execute → report.
+
+Runs the program (optionally under several scheduler seeds to vary the
+thread interleaving) with the DeepMC runtime attached and collects the
+WAW/RAW strand-dependence warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..checker.report import Report
+from ..ir.module import Module
+from ..models import get_model
+from ..vm.interpreter import ExecResult, Interpreter
+from ..vm.scheduler import SeededScheduler
+from .instrumenter import Instrumenter
+from .runtime import DeepMCRuntime
+
+
+@dataclass
+class DynamicRunResult:
+    """Execution result plus the runtime's observations for one seed."""
+
+    seed: int
+    exec_result: ExecResult
+    runtime: DeepMCRuntime
+
+
+class DynamicChecker:
+    """Instruments a module once and executes it under the runtime."""
+
+    def __init__(self, module: Module, model: Optional[str] = None,
+                 instrument_reads: bool = True):
+        self.module = module
+        self.model = get_model(model or module.persistency_model)
+        self.instrumenter = Instrumenter(module, instrument_reads=instrument_reads)
+        self.hooks_inserted = self.instrumenter.run()
+        self.runs: List[DynamicRunResult] = []
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Sequence[Any] = (),
+        seeds: Sequence[int] = (1,),
+        switch_prob: float = 0.1,
+        **interp_kwargs: Any,
+    ) -> Tuple[Report, List[DynamicRunResult]]:
+        """Execute under each seed; returns (merged report, run results)."""
+        report = Report(self.module.name, self.model.name)
+        for seed in seeds:
+            runtime = DeepMCRuntime()
+            interp = Interpreter(
+                self.module,
+                scheduler=SeededScheduler(seed=seed, switch_prob=switch_prob),
+                **interp_kwargs,
+            )
+            interp.deepmc_runtime = runtime
+            result = interp.run(entry, args)
+            self.runs.append(DynamicRunResult(seed, result, runtime))
+            report.merge(runtime.to_report(self.module.name, self.model.name))
+        return report, self.runs

@@ -1,0 +1,88 @@
+"""Shadow segments over persistent memory.
+
+The paper customizes ThreadSanitizer with *shadow segments*: per persistent
+allocation, a shadow region records the access history (which strand, which
+thread, at what logical time) per address. We shadow at 8-byte word
+granularity — the smallest scalar our IR stores — and keep only the last
+write per word plus the metadata needed for the happens-before test, which
+is exactly what WAW/RAW detection between strands requires (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..ir.sourceloc import SourceLoc
+
+WORD = 8
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """Last write to one shadow word."""
+
+    thread_id: int
+    clock: int          # writer thread's scalar clock at the write
+    strand_id: int      # region instance (negative = implicit per-thread)
+    in_strand: bool     # was the writer inside an explicit strand region?
+    fence_epoch: int    # writer thread's fence count at the write
+    loc: SourceLoc
+
+
+class ShadowSegment:
+    """Shadow words of one persistent allocation."""
+
+    __slots__ = ("alloc_id", "_words")
+
+    def __init__(self, alloc_id: int):
+        self.alloc_id = alloc_id
+        self._words: Dict[int, WriteRecord] = {}
+
+    @staticmethod
+    def words_for(offset: int, size: int) -> Iterator[int]:
+        if size <= 0:
+            return
+        first = offset // WORD
+        last = (offset + size - 1) // WORD
+        for w in range(first, last + 1):
+            yield w
+
+    def last_write(self, word: int) -> Optional[WriteRecord]:
+        return self._words.get(word)
+
+    def record_write(self, word: int, record: WriteRecord) -> None:
+        self._words[word] = record
+
+    def drop(self) -> None:
+        self._words.clear()
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class ShadowSpace:
+    """All shadow segments, keyed by allocation id.
+
+    Only persistent allocations get a segment — the scalability argument
+    of §5.2: cost tracks the amount of persistent memory, not total memory.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, ShadowSegment] = {}
+
+    def segment(self, alloc_id: int) -> ShadowSegment:
+        seg = self._segments.get(alloc_id)
+        if seg is None:
+            seg = ShadowSegment(alloc_id)
+            self._segments[alloc_id] = seg
+        return seg
+
+    def release(self, alloc_id: int) -> None:
+        self._segments.pop(alloc_id, None)
+
+    def total_words(self) -> int:
+        return sum(len(s) for s in self._segments.values())
+
+    def segment_count(self) -> int:
+        return len(self._segments)

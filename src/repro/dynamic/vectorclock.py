@@ -1,0 +1,48 @@
+"""Vector clocks for happens-before race detection.
+
+Standard machinery: per-thread vector clocks, advanced on local steps and
+merged at spawn/join edges. Shadow entries store FastTrack-style scalar
+epochs ``(thread, clock)`` so the common-case ordering test is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A mapping thread_id -> logical clock, with pointwise operations."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Dict[int, int] = None):
+        self._clocks: Dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, thread_id: int) -> int:
+        return self._clocks.get(thread_id, 0)
+
+    def tick(self, thread_id: int) -> None:
+        self._clocks[thread_id] = self._clocks.get(thread_id, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        for tid, c in other._clocks.items():
+            if c > self._clocks.get(tid, 0):
+                self._clocks[tid] = c
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def dominates_epoch(self, thread_id: int, clock: int) -> bool:
+        """True when this clock has observed (thread_id, clock) — i.e. the
+        epoch happens-before the current point."""
+        return self._clocks.get(thread_id, 0) >= clock
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._clocks.items())
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(c <= other.get(t) for t, c in self._clocks.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._clocks.items()))
+        return f"<VC {inner}>"

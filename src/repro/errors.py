@@ -1,0 +1,58 @@
+"""Exception hierarchy for the DeepMC reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad types, operands, or structural problems."""
+
+
+class ParseError(IRError):
+    """Raised by the textual IR parser on invalid input."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class VerifierError(IRError):
+    """Raised by the module verifier when an invariant is violated."""
+
+
+class AnalysisError(ReproError):
+    """Raised by static analyses (CFG, call graph, DSA, traces)."""
+
+
+class CheckerError(ReproError):
+    """Raised by the static/dynamic checkers on misconfiguration."""
+
+
+class VMError(ReproError):
+    """Raised by the IR interpreter on runtime faults."""
+
+
+class MemoryFault(VMError):
+    """Out-of-bounds or use-after-free access in the simulated memory."""
+
+
+class CrashInjected(VMError):
+    """Control-flow exception used to stop execution at a crash point.
+
+    Not an error in the usual sense: the crash tester raises this to
+    unwind the interpreter once the designated crash point is reached.
+    """
+
+
+class CorpusError(ReproError):
+    """Raised when a corpus program is internally inconsistent."""

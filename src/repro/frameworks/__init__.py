@@ -1,0 +1,24 @@
+"""Mini re-implementations of the four NVM frameworks the paper studies."""
+
+from .base import FrameworkLib, obj_size
+from .mnemosyne import Mnemosyne
+from .nvm_direct import NVMDirect
+from .pmdk import PMDK
+from .pmfs import PMFS
+
+FRAMEWORKS = {
+    "pmdk": PMDK,
+    "pmfs": PMFS,
+    "nvm_direct": NVMDirect,
+    "mnemosyne": Mnemosyne,
+}
+
+__all__ = [
+    "FRAMEWORKS",
+    "FrameworkLib",
+    "Mnemosyne",
+    "NVMDirect",
+    "PMDK",
+    "PMFS",
+    "obj_size",
+]

@@ -1,0 +1,147 @@
+"""Common machinery for the mini NVM frameworks.
+
+Each framework (mini-PMDK, mini-PMFS, mini-NVM-Direct, mini-Mnemosyne)
+installs into a module:
+
+* **library functions with IR bodies** for its persistence entry points
+  (``pmemobj_persist`` etc.) so programs execute them for real on the
+  simulated NVM, and
+* **persist annotations** for the same entry points so the static checker
+  summarizes calls by their declared effects instead of inlining — the
+  "interface to track every function that performs persistent operations"
+  of §4.1.
+
+Region boundaries (transactions/epochs/strands) are emitted *inline* at
+call sites by the helper methods, mirroring how ``TX_BEGIN``/``TX_END``
+are macros in the real frameworks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import IRError
+from ..ir import types as ty
+from ..ir.annotations import (
+    EFFECT_FENCE,
+    EFFECT_FLUSH,
+    EFFECT_WRITE,
+    Effect,
+)
+from ..ir.builder import IRBuilder, IntOrValue
+from ..ir.module import Module
+from ..ir.values import Value
+
+
+def obj_size(ptr: Value) -> int:
+    """Static size of the pointee; framework helpers use it when callers
+    persist "the whole object"."""
+    if not isinstance(ptr.type, ty.PointerType) or ptr.type.pointee is None:
+        raise IRError("whole-object persist requires a typed pointer")
+    return ptr.type.pointee.size()
+
+
+class FrameworkLib:
+    """Base class: defines the shared flush/persist library shapes."""
+
+    #: short name used in annotations ("pmdk", "pmfs", ...)
+    name = "base"
+    #: the persistency model this framework's programs declare
+    model = "strict"
+
+    def __init__(self, module: Module, prefix: str):
+        self.module = module
+        self.prefix = prefix
+        self._install_common()
+
+    # -- library body templates -----------------------------------------------
+    def _fn_name(self, stem: str) -> str:
+        return f"{self.prefix}{stem}"
+
+    def _define_flush_fn(self, stem: str, with_fence: bool) -> str:
+        """``void f(ptr p, i64 n)``: flush [p, p+n), optionally fence."""
+        name = self._fn_name(stem)
+        fn = self.module.define_function(
+            name, ty.VOID, [("p", ty.PTR), ("n", ty.I64)],
+            source_file=f"{self.name}_lib.c",
+        )
+        b = IRBuilder(fn)
+        b.flush(fn.arg("p"), fn.arg("n"))
+        if with_fence:
+            b.fence()
+        b.ret()
+        effects = [Effect(EFFECT_FLUSH, ptr_arg=0, size_arg=1)]
+        if with_fence:
+            effects.append(Effect(EFFECT_FENCE))
+        self.module.annotations.annotate(name, effects, framework=self.name)
+        return name
+
+    def _define_fence_fn(self, stem: str) -> str:
+        name = self._fn_name(stem)
+        fn = self.module.define_function(
+            name, ty.VOID, [], source_file=f"{self.name}_lib.c"
+        )
+        b = IRBuilder(fn)
+        b.fence()
+        b.ret()
+        self.module.annotations.annotate(
+            name, [Effect(EFFECT_FENCE)], framework=self.name
+        )
+        return name
+
+    def _define_memset_persist_fn(self, stem: str) -> str:
+        """``void f(ptr p, i64 byte, i64 n)``: memset + flush + fence."""
+        name = self._fn_name(stem)
+        fn = self.module.define_function(
+            name, ty.VOID, [("p", ty.PTR), ("c", ty.I64), ("n", ty.I64)],
+            source_file=f"{self.name}_lib.c",
+        )
+        b = IRBuilder(fn)
+        byte = b.cast(fn.arg("c"), ty.I8)
+        b.memset(fn.arg("p"), byte, fn.arg("n"))
+        b.flush(fn.arg("p"), fn.arg("n"))
+        b.fence()
+        b.ret()
+        self.module.annotations.annotate(
+            name,
+            [
+                Effect(EFFECT_WRITE, ptr_arg=0, size_arg=2),
+                Effect(EFFECT_FLUSH, ptr_arg=0, size_arg=2),
+                Effect(EFFECT_FENCE),
+            ],
+            framework=self.name,
+        )
+        return name
+
+    def _define_memcpy_persist_fn(self, stem: str) -> str:
+        """``void f(ptr dst, ptr src, i64 n)``: memcpy + flush + fence."""
+        name = self._fn_name(stem)
+        fn = self.module.define_function(
+            name, ty.VOID, [("d", ty.PTR), ("s", ty.PTR), ("n", ty.I64)],
+            source_file=f"{self.name}_lib.c",
+        )
+        b = IRBuilder(fn)
+        b.memcpy(fn.arg("d"), fn.arg("s"), fn.arg("n"))
+        b.flush(fn.arg("d"), fn.arg("n"))
+        b.fence()
+        b.ret()
+        self.module.annotations.annotate(
+            name,
+            [
+                Effect(EFFECT_WRITE, ptr_arg=0, size_arg=2),
+                Effect(EFFECT_FLUSH, ptr_arg=0, size_arg=2),
+                Effect(EFFECT_FENCE),
+            ],
+            framework=self.name,
+        )
+        return name
+
+    def _install_common(self) -> None:
+        """Subclasses override to define their entry points."""
+
+    # -- shared emit helper ------------------------------------------------------
+    def _size_value(self, b: IRBuilder, ptr: Value,
+                    size: Optional[IntOrValue]):
+        if size is None:
+            return b.const(obj_size(ptr))
+        return b._value(size)

@@ -1,0 +1,69 @@
+"""Mini-NVM-Direct: Oracle's NVM-Direct library surface.
+
+NVM-Direct follows **strict persistency**. The modelled API:
+
+* ``nvm_persist(p, n)`` / ``nvm_persist1(p)`` — flush + fence (``persist1``
+  persists a single small object/cacheline, as in the paper's Figure 9);
+* ``nvm_flush(p, n)`` / ``nvm_flush1(p)`` — flush without the barrier
+  (Figure 3's missing-barrier bug forgets the fence after ``nvm_flush``);
+* ``nvm_txbegin`` / ``nvm_txend`` — durable transactions;
+* ``nvm_undo(p, n)`` — undo-log into the open transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder, IntOrValue
+from ..ir.instructions import REGION_TX
+from ..ir.module import Module
+from ..ir.values import Value
+from .base import FrameworkLib, obj_size
+
+
+class NVMDirect(FrameworkLib):
+    """Install mini-NVM-Direct into a module and emit calls to it."""
+
+    name = "nvm_direct"
+    model = "strict"
+
+    def __init__(self, module: Module):
+        super().__init__(module, prefix="nvm_")
+
+    def _install_common(self) -> None:
+        self.fn_persist = self._define_flush_fn("persist", with_fence=True)
+        self.fn_flush = self._define_flush_fn("flush", with_fence=False)
+        self.fn_fence = self._define_fence_fn("persist_barrier")
+
+    # -- emit helpers ------------------------------------------------------
+    def persist(self, b: IRBuilder, ptr: Value,
+                size: Optional[IntOrValue] = None, line=None):
+        return b.call(self.fn_persist, [ptr, self._size_value(b, ptr, size)],
+                      line=line)
+
+    def persist1(self, b: IRBuilder, ptr: Value, line=None):
+        """nvm_persist1: persist one small object (its static size)."""
+        return b.call(self.fn_persist, [ptr, b.const(obj_size(ptr))], line=line)
+
+    def flush(self, b: IRBuilder, ptr: Value,
+              size: Optional[IntOrValue] = None, line=None):
+        return b.call(self.fn_flush, [ptr, self._size_value(b, ptr, size)],
+                      line=line)
+
+    def flush1(self, b: IRBuilder, ptr: Value, line=None):
+        return b.call(self.fn_flush, [ptr, b.const(obj_size(ptr))], line=line)
+
+    def persist_barrier(self, b: IRBuilder, line=None):
+        return b.call(self.fn_fence, [], line=line)
+
+    def txbegin(self, b: IRBuilder, line=None):
+        return b.txbegin(REGION_TX, line=line)
+
+    def txend(self, b: IRBuilder, line=None):
+        return b.txend(REGION_TX, line=line)
+
+    def undo(self, b: IRBuilder, ptr: Value,
+             size: Optional[IntOrValue] = None, line=None):
+        if size is None:
+            size = obj_size(ptr)
+        return b.txadd(ptr, size, line=line)

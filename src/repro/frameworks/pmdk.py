@@ -1,0 +1,79 @@
+"""Mini-PMDK: Intel's Persistent Memory Development Kit, reduced to the
+surface the paper's bugs exercise.
+
+PMDK programs follow **strict persistency**. The modelled API:
+
+* ``pmemobj_persist(p, n)``  — flush + drain (the common persist call)
+* ``pmemobj_flush(p, n)`` / ``pmemobj_drain()`` — split halves
+* ``pmemobj_memset_persist`` / ``pmemobj_memcpy_persist``
+* ``TX_BEGIN``/``TX_END`` — durable transactions (inline region markers,
+  as they are macros in real PMDK)
+* ``TX_ADD`` — undo-log an object range into the enclosing transaction
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder, IntOrValue
+from ..ir.instructions import REGION_TX
+from ..ir.module import Module
+from ..ir.values import Value
+from .base import FrameworkLib
+
+
+class PMDK(FrameworkLib):
+    """Install mini-PMDK into a module and emit calls to it."""
+
+    name = "pmdk"
+    model = "strict"
+
+    def __init__(self, module: Module):
+        super().__init__(module, prefix="pmemobj_")
+
+    def _install_common(self) -> None:
+        self.fn_persist = self._define_flush_fn("persist", with_fence=True)
+        self.fn_flush = self._define_flush_fn("flush", with_fence=False)
+        self.fn_drain = self._define_fence_fn("drain")
+        self.fn_memset = self._define_memset_persist_fn("memset_persist")
+        self.fn_memcpy = self._define_memcpy_persist_fn("memcpy_persist")
+
+    # -- emit helpers ------------------------------------------------------
+    def persist(self, b: IRBuilder, ptr: Value,
+                size: Optional[IntOrValue] = None, line=None):
+        return b.call(self.fn_persist, [ptr, self._size_value(b, ptr, size)],
+                      line=line)
+
+    def flush(self, b: IRBuilder, ptr: Value,
+              size: Optional[IntOrValue] = None, line=None):
+        return b.call(self.fn_flush, [ptr, self._size_value(b, ptr, size)],
+                      line=line)
+
+    def drain(self, b: IRBuilder, line=None):
+        return b.call(self.fn_drain, [], line=line)
+
+    def memset_persist(self, b: IRBuilder, ptr: Value, byte: IntOrValue,
+                       size: IntOrValue, line=None):
+        return b.call(self.fn_memset, [ptr, b._value(byte), b._value(size)],
+                      line=line)
+
+    def memcpy_persist(self, b: IRBuilder, dst: Value, src: Value,
+                       size: IntOrValue, line=None):
+        return b.call(self.fn_memcpy, [dst, src, b._value(size)], line=line)
+
+    def tx_begin(self, b: IRBuilder, line=None):
+        """TX_BEGIN — a durable transaction (strict persistency)."""
+        return b.txbegin(REGION_TX, line=line)
+
+    def tx_end(self, b: IRBuilder, line=None):
+        """TX_END — commit: logged ranges are flushed and fenced."""
+        return b.txend(REGION_TX, line=line)
+
+    def tx_add(self, b: IRBuilder, ptr: Value,
+               size: Optional[IntOrValue] = None, line=None):
+        """TX_ADD — undo-log [ptr, ptr+size) into the open transaction."""
+        if size is None:
+            from .base import obj_size
+
+            size = obj_size(ptr)
+        return b.txadd(ptr, size, line=line)

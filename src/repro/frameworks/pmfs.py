@@ -1,0 +1,84 @@
+"""Mini-PMFS: Intel's Persistent Memory File System journaling layer.
+
+PMFS follows **epoch persistency**: its transactions journal log entries
+and order persists at epoch boundaries with ``PERSISTENT_BARRIER`` (a
+fence). The modelled API:
+
+* ``pmfs_new_transaction`` / ``pmfs_commit_transaction`` — a PMFS
+  transaction is both a durable transaction (it logs) and an epoch
+  (its persists are ordered against neighbouring transactions by the
+  barrier its commit issues);
+* ``pmfs_add_logentry`` — journal an object range (undo log);
+* ``pmfs_flush_buffer(p, n, fence)`` — flush a byte range, optionally
+  fencing (the real signature; passing ``fence=False`` and forgetting the
+  barrier afterwards is exactly the symlink.c bug of Figure 4);
+* ``pmfs_barrier`` — ``PERSISTENT_BARRIER``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder, IntOrValue
+from ..ir.instructions import REGION_EPOCH, REGION_TX
+from ..ir.module import Module
+from ..ir.values import Value
+from .base import FrameworkLib, obj_size
+
+
+class PMFS(FrameworkLib):
+    """Install mini-PMFS into a module and emit calls to it."""
+
+    name = "pmfs"
+    model = "epoch"
+
+    def __init__(self, module: Module):
+        super().__init__(module, prefix="pmfs_")
+
+    def _install_common(self) -> None:
+        self.fn_flush = self._define_flush_fn("flush_buffer", with_fence=False)
+        self.fn_flush_fence = self._define_flush_fn(
+            "flush_buffer_fence", with_fence=True
+        )
+        self.fn_barrier = self._define_fence_fn("barrier")
+        self.fn_memcpy = self._define_memcpy_persist_fn("memcpy_persist")
+
+    # -- transactions (epoch regions) ----------------------------------------
+    def new_transaction(self, b: IRBuilder, line=None):
+        """pmfs_new_transaction: opens a journaled epoch."""
+        b.txbegin(REGION_TX, line=line)
+        return b.txbegin(REGION_EPOCH, line=line)
+
+    def commit_transaction(self, b: IRBuilder, line=None):
+        """pmfs_commit_transaction: barrier, then close the epoch."""
+        b.fence(line=line)
+        b.txend(REGION_EPOCH, line=line)
+        return b.txend(REGION_TX, line=line)
+
+    def commit_transaction_no_barrier(self, b: IRBuilder, line=None):
+        """A commit that *forgets* the persist barrier — the buggy shape
+        the epoch rules catch. Provided so corpus programs read clearly."""
+        b.txend(REGION_EPOCH, line=line)
+        return b.txend(REGION_TX, line=line)
+
+    def add_logentry(self, b: IRBuilder, ptr: Value,
+                     size: Optional[IntOrValue] = None, line=None):
+        """Journal an object range into the open transaction."""
+        if size is None:
+            size = obj_size(ptr)
+        return b.txadd(ptr, size, line=line)
+
+    # -- flushes ---------------------------------------------------------------
+    def flush_buffer(self, b: IRBuilder, ptr: Value,
+                     size: Optional[IntOrValue] = None,
+                     fence: bool = False, line=None):
+        fn = self.fn_flush_fence if fence else self.fn_flush
+        return b.call(fn, [ptr, self._size_value(b, ptr, size)], line=line)
+
+    def memcpy_persist(self, b: IRBuilder, dst: Value, src: Value,
+                       size: IntOrValue, line=None):
+        return b.call(self.fn_memcpy, [dst, src, b._value(size)], line=line)
+
+    def barrier(self, b: IRBuilder, line=None):
+        """PERSISTENT_BARRIER."""
+        return b.call(self.fn_barrier, [], line=line)

@@ -1,0 +1,43 @@
+"""NVM-C front end: compile a C subset to the NVM IR.
+
+The paper checks C programs (via LLVM); this front end provides the same
+experience in miniature — write C-like NVM code with persistence
+intrinsics and a ``#pragma persistency(...)`` model flag, and DeepMC's
+warnings point at the original C lines.
+
+Usage::
+
+    from repro.frontend import compile_c
+    module = compile_c(source_text, "program.c")
+    report = check_module(module)
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from .cast import Program
+from .cparser import parse_c
+from .lexer import Token, tokenize
+from .lower import Lowerer, LoweringError
+
+
+def compile_c(source: str, source_file: str = "<nvmc>",
+              verify: bool = True) -> Module:
+    """Parse + lower NVM-C source into a verified IR module."""
+    program = parse_c(source, source_file)
+    module = Lowerer(program).lower()
+    if verify:
+        verify_module(module)
+    return module
+
+
+__all__ = [
+    "LoweringError",
+    "Lowerer",
+    "Program",
+    "Token",
+    "compile_c",
+    "parse_c",
+    "tokenize",
+]

@@ -1,0 +1,178 @@
+"""AST for NVM-C.
+
+A deliberately small, explicit tree: every node records its source line so
+lowering can stamp IR instructions with real C coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- type expressions ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class CType:
+    """``base`` is 'int', 'long', 'char', 'void' or 'struct <name>';
+    ``pointers`` counts trailing ``*``s."""
+
+    base: str
+    pointers: int = 0
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.pointers + 1)
+
+    @property
+    def is_struct(self) -> bool:
+        return self.base.startswith("struct ")
+
+    @property
+    def struct_name(self) -> str:
+        return self.base[len("struct "):]
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointers
+
+
+# -- expressions --------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str          # '-', '!'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str          # + - * / % == != < <= > >= && ||
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Member(Expr):
+    """``base->field`` (base must be a struct pointer)."""
+
+    base: Expr
+    field: str
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: List[Expr]
+
+
+@dataclass
+class AllocExpr(Expr):
+    """``pmalloc(struct T [, count])`` / ``vmalloc(struct T [, count])`` /
+    element-typed variants ``pmalloc(int, count)``."""
+
+    persistent: bool
+    elem: CType
+    count: Optional[Expr]
+
+
+@dataclass
+class SizeofExpr(Expr):
+    target: CType
+
+
+@dataclass
+class CastExpr(Expr):
+    target: CType
+    operand: Expr
+
+
+# -- statements --------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: CType
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr     # Name | Member | Index
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+# -- top level ------------------------------------------------------------------
+
+@dataclass
+class StructDef:
+    line: int
+    name: str
+    #: (field name, type, array length or None)
+    fields: List[Tuple[str, CType, Optional[int]]]
+
+
+@dataclass
+class FuncDef:
+    line: int
+    name: str
+    ret: CType
+    params: List[Tuple[str, CType]]
+    body: List[Stmt]
+
+
+@dataclass
+class Program:
+    source_file: str
+    model: str = "strict"
+    structs: List[StructDef] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,349 @@
+"""Recursive-descent parser for NVM-C.
+
+Grammar (C subset)::
+
+    program   := pragma* (structdef | funcdef)*
+    pragma    := '#pragma persistency(strict|epoch|strand)'
+    structdef := 'struct' IDENT '{' (type IDENT ('[' NUM ']')? ';')* '}' ';'
+    funcdef   := type IDENT '(' params? ')' block
+    type      := ('void'|'int'|'long'|'char'|'struct' IDENT) '*'*
+    block     := '{' stmt* '}'
+    stmt      := type IDENT ('=' expr)? ';'          -- declaration
+               | lvalue '=' expr ';'                 -- assignment
+               | expr ';'                            -- expression stmt
+               | 'if' '(' expr ')' block ('else' block)?
+               | 'while' '(' expr ')' block
+               | 'return' expr? ';'
+    expr      := C expression with ->, [], calls, sizeof, casts,
+                 pmalloc/vmalloc allocation forms
+
+Precedence (low→high): || ; && ; == != ; < <= > >= ; + - ; * / % ;
+unary - ! ; postfix -> [] ().
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .cast import (
+    AllocExpr,
+    AssignStmt,
+    Binary,
+    Call,
+    CastExpr,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FuncDef,
+    IfStmt,
+    IntLit,
+    Index,
+    Member,
+    Name,
+    Program,
+    ReturnStmt,
+    SizeofExpr,
+    StructDef,
+    Stmt,
+    Unary,
+    WhileStmt,
+)
+from .lexer import Token, tokenize
+
+_PRAGMA_RE = re.compile(
+    r"#\s*pragma\s+persistency\s*\(\s*(strict|epoch|strand)\s*\)"
+)
+
+_ALLOC_FORMS = {"pmalloc": True, "vmalloc": False}
+
+_TYPE_STARTERS = {"void", "int", "long", "char", "struct"}
+
+
+class CParser:
+    def __init__(self, source: str, source_file: str = "<nvmc>"):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.program = Program(source_file)
+        self._struct_names: set = set()
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, got {tok.text!r}",
+                             tok.line, tok.col)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, got {tok.text!r}",
+                             tok.line, tok.col)
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind != "eof":
+            self.pos += 1
+            return True
+        return False
+
+    # -- entry -------------------------------------------------------------------
+    def parse(self) -> Program:
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if tok.kind == "pragma":
+                self._parse_pragma(self.next())
+            elif tok.text == "struct" and self.peek(2).text == "{":
+                self._parse_struct()
+            else:
+                self._parse_function()
+        return self.program
+
+    def _parse_pragma(self, tok: Token) -> None:
+        m = _PRAGMA_RE.match(tok.text)
+        if m:
+            self.program.model = m.group(1)
+        # other pragmas are ignored, like a real compiler
+
+    # -- types ---------------------------------------------------------------------
+    def _at_type(self) -> bool:
+        tok = self.peek()
+        if tok.text in _TYPE_STARTERS:
+            # 'struct' also begins struct *definitions*; here it is a type
+            # usage when followed by IDENT and not '{'
+            return True
+        return False
+
+    def _parse_type(self) -> CType:
+        tok = self.next()
+        if tok.text == "struct":
+            name = self.expect_ident()
+            base = f"struct {name.text}"
+        elif tok.text in ("void", "int", "long", "char"):
+            base = tok.text
+        else:
+            raise ParseError(f"expected a type, got {tok.text!r}",
+                             tok.line, tok.col)
+        ptrs = 0
+        while self.accept("*"):
+            ptrs += 1
+        return CType(base, ptrs)
+
+    # -- structs --------------------------------------------------------------------
+    def _parse_struct(self) -> None:
+        start = self.expect("struct")
+        name = self.expect_ident()
+        self.expect("{")
+        fields: List[Tuple[str, CType, Optional[int]]] = []
+        while not self.accept("}"):
+            ftype = self._parse_type()
+            fname = self.expect_ident()
+            length: Optional[int] = None
+            if self.accept("["):
+                num = self.next()
+                if num.kind != "number":
+                    raise ParseError("array length must be a constant",
+                                     num.line, num.col)
+                length = int(num.text, 0)
+                self.expect("]")
+            self.expect(";")
+            fields.append((fname.text, ftype, length))
+        self.expect(";")
+        self._struct_names.add(name.text)
+        self.program.structs.append(StructDef(start.line, name.text, fields))
+
+    # -- functions ---------------------------------------------------------------------
+    def _parse_function(self) -> None:
+        ret = self._parse_type()
+        name = self.expect_ident()
+        self.expect("(")
+        params: List[Tuple[str, CType]] = []
+        if not self.accept(")"):
+            while True:
+                if self.peek().text == "void" and self.peek(1).text == ")":
+                    self.next()
+                    self.expect(")")
+                    break
+                ptype = self._parse_type()
+                pname = self.expect_ident()
+                params.append((pname.text, ptype))
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        body = self._parse_block()
+        self.program.functions.append(
+            FuncDef(name.line, name.text, ret, params, body)
+        )
+
+    # -- statements ----------------------------------------------------------------------
+    def _parse_block(self) -> List[Stmt]:
+        self.expect("{")
+        stmts: List[Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if tok.text == "if":
+            return self._parse_if()
+        if tok.text == "while":
+            return self._parse_while()
+        if tok.text == "return":
+            self.next()
+            value = None
+            if self.peek().text != ";":
+                value = self._parse_expr()
+            self.expect(";")
+            return ReturnStmt(tok.line, value)
+        if self._at_type():
+            ctype = self._parse_type()
+            name = self.expect_ident()
+            init = None
+            if self.accept("="):
+                init = self._parse_expr()
+            self.expect(";")
+            return DeclStmt(tok.line, ctype, name.text, init)
+        # assignment or expression statement
+        expr = self._parse_expr()
+        if self.accept("="):
+            if not isinstance(expr, (Name, Member, Index)):
+                raise ParseError("invalid assignment target",
+                                 tok.line, tok.col)
+            value = self._parse_expr()
+            self.expect(";")
+            return AssignStmt(tok.line, expr, value)
+        self.expect(";")
+        return ExprStmt(tok.line, expr)
+
+    def _parse_if(self) -> IfStmt:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self._parse_expr()
+        self.expect(")")
+        then_body = self._parse_block()
+        else_body: List[Stmt] = []
+        if self.accept("else"):
+            if self.peek().text == "if":
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return IfStmt(tok.line, cond, then_body, else_body)
+
+    def _parse_while(self) -> WhileStmt:
+        tok = self.expect("while")
+        self.expect("(")
+        cond = self._parse_expr()
+        self.expect(")")
+        body = self._parse_block()
+        return WhileStmt(tok.line, cond, body)
+
+    # -- expressions (precedence climbing) --------------------------------------------------
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_expr(self, level: int = 0) -> Expr:
+        if level == len(self._LEVELS):
+            return self._parse_unary()
+        lhs = self._parse_expr(level + 1)
+        while self.peek().text in self._LEVELS[level] \
+                and self.peek().kind == "op":
+            op = self.next()
+            rhs = self._parse_expr(level + 1)
+            lhs = Binary(op.line, op.text, lhs, rhs)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!") and tok.kind == "op":
+            self.next()
+            return Unary(tok.line, tok.text, self._parse_unary())
+        # cast: '(' type ')' expr — only when the parenthesized thing is a type
+        if tok.text == "(" and self.peek(1).text in _TYPE_STARTERS:
+            self.next()
+            target = self._parse_type()
+            self.expect(")")
+            return CastExpr(tok.line, target, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.peek()
+            if tok.text == "->":
+                self.next()
+                field = self.expect_ident()
+                expr = Member(tok.line, expr, field.text)
+            elif tok.text == "[":
+                self.next()
+                index = self._parse_expr()
+                self.expect("]")
+                expr = Index(tok.line, expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "number":
+            return IntLit(tok.line, int(tok.text, 0))
+        if tok.text == "(":
+            inner = self._parse_expr()
+            self.expect(")")
+            return inner
+        if tok.text == "sizeof":
+            self.expect("(")
+            target = self._parse_type()
+            self.expect(")")
+            return SizeofExpr(tok.line, target)
+        if tok.kind == "ident":
+            if tok.text in _ALLOC_FORMS and self.peek().text == "(":
+                return self._parse_alloc(tok)
+            if self.peek().text == "(":
+                return self._parse_call(tok)
+            return Name(tok.line, tok.text)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+    def _parse_alloc(self, tok: Token) -> AllocExpr:
+        persistent = _ALLOC_FORMS[tok.text]
+        self.expect("(")
+        elem = self._parse_type()
+        count: Optional[Expr] = None
+        if self.accept(","):
+            count = self._parse_expr()
+        self.expect(")")
+        return AllocExpr(tok.line, persistent, elem, count)
+
+    def _parse_call(self, tok: Token) -> Call:
+        self.expect("(")
+        args: List[Expr] = []
+        if not self.accept(")"):
+            while True:
+                args.append(self._parse_expr())
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        return Call(tok.line, tok.text, args)
+
+
+def parse_c(source: str, source_file: str = "<nvmc>") -> Program:
+    """Parse NVM-C source into a :class:`Program`."""
+    return CParser(source, source_file).parse()

@@ -1,0 +1,91 @@
+"""Lexer for NVM-C, the C subset the front end accepts.
+
+Tokens carry line/column for diagnostics and for the IR source locations —
+warnings produced on compiled C code point at the original C lines.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "struct", "if", "else", "while", "for", "return", "void",
+    "int", "long", "char", "sizeof",
+}
+
+#: multi-character operators, longest first
+_OPERATORS = [
+    "->", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<newline>\n)
+    | (?P<line_comment>//[^\n]*)
+    | (?P<block_comment>/\*.*?\*/)
+    | (?P<pragma>\#[^\n]*)
+    | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<op>""" + "|".join(re.escape(o) for o in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'keyword' | 'ident' | 'number' | 'op' | 'pragma' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.col}>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize NVM-C source; raises ParseError on illegal characters."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise ParseError(
+                f"illegal character {source[pos]!r}", line, col
+            )
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        if kind == "newline":
+            line += 1
+            line_start = m.end()
+        elif kind == "block_comment":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = m.start() + text.rindex("\n") + 1
+        elif kind in ("ws", "line_comment"):
+            pass
+        elif kind == "pragma":
+            tokens.append(Token("pragma", text, line, col))
+        elif kind == "number":
+            tokens.append(Token("number", text, line, col))
+        elif kind == "ident":
+            k = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(k, text, line, col))
+        else:  # op
+            tokens.append(Token("op", text, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, pos - line_start + 1))
+    return tokens

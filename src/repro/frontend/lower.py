@@ -1,0 +1,408 @@
+"""Lowering NVM-C ASTs to the NVM IR.
+
+Clang -O0 style: every local lives in an ``alloca`` slot, reads load it,
+writes store it — which is exactly the shape the DSA and trace collector
+were built for. Persistence intrinsics map 1:1 onto IR primitives:
+
+    pmalloc(struct T[, n])   -> palloc          vmalloc(...) -> malloc
+    pmem_flush(p, n)         -> flush           pmem_fence() -> fence
+    pmem_persist(p, n)       -> flush + fence
+    tx_begin()/tx_end()      -> durable-transaction region markers
+    tx_add(p, n)             -> txadd           epoch_begin()/epoch_end()
+    strand_begin()/strand_end(), memset, memcpy, free, spawn(f, ...), join(t)
+
+Every IR instruction carries the C source line, so checker warnings point
+at the original program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ParseError
+from ..ir import types as ty
+from ..ir.builder import IRBuilder
+from ..ir.instructions import REGION_EPOCH, REGION_STRAND, REGION_TX
+from ..ir.module import Module
+from ..ir.values import Value
+from . import cast as A
+
+_CMP_OPS = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+            ">": "sgt", ">=": "sge"}
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem"}
+
+
+class LoweringError(ParseError):
+    pass
+
+
+class Lowerer:
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.module = Module(
+            program.source_file.rsplit("/", 1)[-1],
+            persistency_model=program.model,
+        )
+        self._structs: Dict[str, ty.StructType] = {}
+
+    # -- type mapping -------------------------------------------------------
+    def map_type(self, ctype: A.CType, line: int = 0) -> ty.Type:
+        if ctype.is_struct:
+            base: ty.Type = self._struct(ctype.struct_name, line)
+        elif ctype.base in ("int", "long"):
+            base = ty.I64
+        elif ctype.base == "char":
+            base = ty.I8
+        elif ctype.base == "void":
+            base = ty.VOID
+        else:  # pragma: no cover - parser restricts bases
+            raise LoweringError(f"unknown type {ctype.base!r}", line)
+        for _ in range(ctype.pointers):
+            base = ty.pointer_to(base)
+        if isinstance(base, ty.VoidType) and ctype.pointers:
+            base = ty.PTR
+        return base
+
+    def _struct(self, name: str, line: int) -> ty.StructType:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise LoweringError(f"unknown struct {name!r}", line) from None
+
+    # -- top level -------------------------------------------------------------
+    def lower(self) -> Module:
+        for sd in self.program.structs:
+            fields = []
+            for fname, ftype, length in sd.fields:
+                mapped = self.map_type(ftype, sd.line)
+                if length is not None:
+                    mapped = ty.ArrayType(mapped, length)
+                fields.append((fname, mapped))
+            self._structs[sd.name] = self.module.define_struct(sd.name, fields)
+        # two passes so forward calls resolve
+        for fd in self.program.functions:
+            params = [(n, self.map_type(t, fd.line)) for n, t in fd.params]
+            self.module.define_function(
+                fd.name, self.map_type(fd.ret, fd.line), params,
+                source_file=self.program.source_file,
+            )
+        for fd in self.program.functions:
+            _FunctionLowerer(self, fd).lower()
+        return self.module
+
+
+class _FunctionLowerer:
+    def __init__(self, parent: Lowerer, fd: A.FuncDef):
+        self.parent = parent
+        self.module = parent.module
+        self.fd = fd
+        self.fn = self.module.function(fd.name)
+        self.b = IRBuilder(self.fn, source_file=parent.program.source_file)
+        #: name -> (slot pointer value, declared IR type)
+        self.slots: Dict[str, tuple] = {}
+        self._terminated = False
+
+    # -- function body -----------------------------------------------------
+    def lower(self) -> None:
+        for arg in self.fn.args:
+            slot = self.b.alloca(arg.type, line=self.fd.line)
+            self.b.store(arg, slot, line=self.fd.line)
+            self.slots[arg.name] = (slot, arg.type)
+        self.lower_body(self.fd.body)
+        if not self._terminated:
+            if isinstance(self.fn.ret_type, ty.VoidType):
+                self.b.ret(line=self.fd.line)
+            else:
+                self.b.ret(0, line=self.fd.line)
+
+    def lower_body(self, stmts: List[A.Stmt]) -> None:
+        for stmt in stmts:
+            if self._terminated:
+                return  # unreachable code after return: dropped
+            self.lower_stmt(stmt)
+
+    # -- statements -------------------------------------------------------------
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            declared = self.parent.map_type(stmt.ctype, stmt.line)
+            slot = self.b.alloca(declared, line=stmt.line)
+            self.slots[stmt.name] = (slot, declared)
+            if stmt.init is not None:
+                value = self.rvalue(stmt.init, expect=declared)
+                self.b.store(self._coerce(value, declared, stmt.line),
+                             slot, line=stmt.line)
+            return
+        if isinstance(stmt, A.AssignStmt):
+            addr, vtype = self.lvalue(stmt.target)
+            value = self.rvalue(stmt.value, expect=vtype)
+            self.b.store(self._coerce(value, vtype, stmt.line),
+                         addr, line=stmt.line)
+            return
+        if isinstance(stmt, A.ExprStmt):
+            self.rvalue(stmt.expr, void_ok=True)
+            return
+        if isinstance(stmt, A.ReturnStmt):
+            if stmt.value is None:
+                self.b.ret(line=stmt.line)
+            else:
+                self.b.ret(self.rvalue(stmt.value, expect=self.fn.ret_type),
+                           line=stmt.line)
+            self._terminated = True
+            return
+        if isinstance(stmt, A.IfStmt):
+            self._lower_if(stmt)
+            return
+        if isinstance(stmt, A.WhileStmt):
+            self._lower_while(stmt)
+            return
+        raise LoweringError(f"cannot lower statement {stmt!r}", stmt.line)
+
+    _block_counter = 0
+
+    @classmethod
+    def _label(cls, hint: str) -> str:
+        cls._block_counter += 1
+        return f"{hint}{cls._block_counter}"
+
+    def _lower_if(self, stmt: A.IfStmt) -> None:
+        then_bb = self.b.new_block(self._label("then"))
+        else_bb = self.b.new_block(self._label("else")) if stmt.else_body \
+            else None
+        join_bb = self.b.new_block(self._label("join"))
+        cond = self.condition(stmt.cond)
+        # NB: not `else_bb or join_bb` — an empty BasicBlock is falsy
+        false_bb = else_bb if else_bb is not None else join_bb
+        self.b.br(cond, then_bb, false_bb, line=stmt.line)
+
+        self.b.position_at(then_bb)
+        self._terminated = False
+        self.lower_body(stmt.then_body)
+        if not self._terminated:
+            self.b.jmp(join_bb, line=stmt.line)
+        then_done = self._terminated
+
+        else_done = False
+        if else_bb is not None:
+            self.b.position_at(else_bb)
+            self._terminated = False
+            self.lower_body(stmt.else_body)
+            if not self._terminated:
+                self.b.jmp(join_bb, line=stmt.line)
+            else_done = self._terminated
+
+        self.b.position_at(join_bb)
+        self._terminated = then_done and (else_bb is not None) and else_done
+        if self._terminated:
+            # join unreachable but must be well-formed
+            if isinstance(self.fn.ret_type, ty.VoidType):
+                self.b.ret(line=stmt.line)
+            else:
+                self.b.ret(0, line=stmt.line)
+
+    def _lower_while(self, stmt: A.WhileStmt) -> None:
+        cond_bb = self.b.new_block(self._label("while.cond"))
+        body_bb = self.b.new_block(self._label("while.body"))
+        exit_bb = self.b.new_block(self._label("while.exit"))
+        self.b.jmp(cond_bb, line=stmt.line)
+        self.b.position_at(cond_bb)
+        cond = self.condition(stmt.cond)
+        self.b.br(cond, body_bb, exit_bb, line=stmt.line)
+        self.b.position_at(body_bb)
+        self._terminated = False
+        self.lower_body(stmt.body)
+        if not self._terminated:
+            self.b.jmp(cond_bb, line=stmt.line)
+        self.b.position_at(exit_bb)
+        self._terminated = False
+
+    # -- lvalues / rvalues --------------------------------------------------------
+    def lvalue(self, expr: A.Expr):
+        """Address of an assignable expression → (ptr value, value type)."""
+        if isinstance(expr, A.Name):
+            try:
+                slot, vtype = self.slots[expr.ident]
+            except KeyError:
+                raise LoweringError(f"undeclared variable {expr.ident!r}",
+                                    expr.line) from None
+            return slot, vtype
+        if isinstance(expr, A.Member):
+            base = self.rvalue(expr.base)
+            btype = self._value_type(base, expr.line)
+            if not isinstance(btype, ty.PointerType) or \
+                    not isinstance(btype.pointee, ty.StructType):
+                raise LoweringError(
+                    f"'->' on non-struct-pointer", expr.line)
+            field_ptr = self.b.getfield(base, expr.field, line=expr.line)
+            return field_ptr, btype.pointee.field_type(
+                btype.pointee.field_index(expr.field))
+        if isinstance(expr, A.Index):
+            base = self.rvalue(expr.base)
+            btype = self._value_type(base, expr.line)
+            if not isinstance(btype, ty.PointerType) or btype.pointee is None:
+                raise LoweringError("'[]' on non-pointer", expr.line)
+            index = self.rvalue(expr.index)
+            elem_ptr = self.b.getelem(base, index, line=expr.line)
+            elem = btype.pointee
+            if isinstance(elem, ty.ArrayType):
+                elem = elem.elem
+            return elem_ptr, elem
+        raise LoweringError("expression is not assignable", expr.line)
+
+    def _value_type(self, value: Value, line: int) -> ty.Type:
+        return value.type
+
+    def condition(self, expr: A.Expr) -> Value:
+        v = self.rvalue(expr)
+        if isinstance(v.type, ty.IntType) and v.type.bits == 1:
+            return v
+        return self.b.icmp("ne", v, 0, line=getattr(expr, "line", 0))
+
+    def _coerce(self, v: Value, target: ty.Type, line: int) -> Value:
+        """Width-adjust integer values to the storage type."""
+        if isinstance(target, ty.IntType) and isinstance(v.type, ty.IntType) \
+                and v.type.bits != target.bits:
+            from ..ir.values import Constant
+
+            if isinstance(v, Constant):
+                return Constant(target, v.value)
+            return self.b.cast(v, target, line=line)
+        return v
+
+    def _as_i64(self, v: Value, line: int) -> Value:
+        if isinstance(v.type, ty.IntType) and v.type.bits != 64:
+            return self.b.cast(v, ty.I64, line=line)
+        return v
+
+    def rvalue(self, expr: A.Expr, expect: Optional[ty.Type] = None,
+               void_ok: bool = False) -> Value:
+        if isinstance(expr, A.IntLit):
+            bits = expect.bits if isinstance(expect, ty.IntType) else 64
+            return self.b.const(expr.value, bits)
+        if isinstance(expr, A.Name):
+            slot, _vtype = self.lvalue(expr)
+            return self.b.load(slot, line=expr.line)
+        if isinstance(expr, (A.Member, A.Index)):
+            addr, vtype = self.lvalue(expr)
+            if vtype.is_aggregate():
+                return addr  # arrays/structs decay to their address
+            return self.b.load(addr, line=expr.line)
+        if isinstance(expr, A.Unary):
+            v = self.rvalue(expr.operand)
+            if expr.op == "-":
+                return self.b.sub(self.b.const(0, 64),
+                                  self._as_i64(v, expr.line), line=expr.line)
+            return self.b.icmp("eq", self._as_i64(v, expr.line), 0,
+                               line=expr.line)
+        if isinstance(expr, A.Binary):
+            return self._binary(expr)
+        if isinstance(expr, A.SizeofExpr):
+            return self.b.const(
+                self.parent.map_type(expr.target, expr.line).size())
+        if isinstance(expr, A.CastExpr):
+            target = self.parent.map_type(expr.target, expr.line)
+            return self.b.cast(self.rvalue(expr.operand), target,
+                               line=expr.line)
+        if isinstance(expr, A.AllocExpr):
+            elem = self.parent.map_type(expr.elem, expr.line)
+            count = self.rvalue(expr.count) if expr.count is not None else 1
+            if expr.persistent:
+                return self.b.palloc(elem, count, line=expr.line)
+            return self.b.malloc(elem, count, line=expr.line)
+        if isinstance(expr, A.Call):
+            return self._call(expr, void_ok)
+        raise LoweringError(f"cannot lower expression {expr!r}", expr.line)
+
+    def _binary(self, expr: A.Binary) -> Value:
+        lhs = self.rvalue(expr.lhs)
+        rhs = self.rvalue(expr.rhs)
+        if expr.op in _CMP_OPS:
+            if isinstance(lhs.type, ty.PointerType) or \
+                    isinstance(rhs.type, ty.PointerType):
+                l = lhs if isinstance(lhs.type, ty.PointerType) \
+                    else self.b.cast(lhs, ty.PTR, line=expr.line)
+                r = rhs if isinstance(rhs.type, ty.PointerType) \
+                    else self.b.cast(rhs, ty.PTR, line=expr.line)
+                return self.b.icmp(_CMP_OPS[expr.op],
+                                   self.b.cast(l, ty.I64, line=expr.line),
+                                   self.b.cast(r, ty.I64, line=expr.line),
+                                   line=expr.line)
+            return self.b.icmp(_CMP_OPS[expr.op],
+                               self._as_i64(lhs, expr.line),
+                               self._as_i64(rhs, expr.line), line=expr.line)
+        if expr.op in ("&&", "||"):
+            l = self.condition(expr.lhs) if not (
+                isinstance(lhs.type, ty.IntType) and lhs.type.bits == 1
+            ) else lhs
+            r = self.condition(expr.rhs) if not (
+                isinstance(rhs.type, ty.IntType) and rhs.type.bits == 1
+            ) else rhs
+            op = "and" if expr.op == "&&" else "or"
+            return self.b.binop(op, l, r, line=expr.line)
+        return self.b.binop(_ARITH_OPS[expr.op],
+                            self._as_i64(lhs, expr.line),
+                            self._as_i64(rhs, expr.line), line=expr.line)
+
+    # -- calls & intrinsics -------------------------------------------------------
+    def _call(self, expr: A.Call, void_ok: bool) -> Value:
+        name = expr.callee
+        line = expr.line
+        b = self.b
+
+        def arg(i: int) -> Value:
+            return self.rvalue(expr.args[i])
+
+        if name == "pmem_flush":
+            return b.flush(arg(0), arg(1), line=line)
+        if name == "pmem_fence":
+            return b.fence(line=line)
+        if name == "pmem_persist":
+            b.flush(arg(0), arg(1), line=line)
+            return b.fence(line=line)
+        if name == "tx_begin":
+            return b.txbegin(REGION_TX, line=line)
+        if name == "tx_end":
+            return b.txend(REGION_TX, line=line)
+        if name == "tx_add":
+            return b.txadd(arg(0), arg(1), line=line)
+        if name == "epoch_begin":
+            return b.txbegin(REGION_EPOCH, line=line)
+        if name == "epoch_end":
+            return b.txend(REGION_EPOCH, line=line)
+        if name == "strand_begin":
+            return b.txbegin(REGION_STRAND, line=line)
+        if name == "strand_end":
+            return b.txend(REGION_STRAND, line=line)
+        if name == "memset":
+            return b.memset(arg(0), arg(1), arg(2), line=line)
+        if name == "memcpy":
+            return b.memcpy(arg(0), arg(1), arg(2), line=line)
+        if name == "free" or name == "pfree":
+            return b.free(arg(0), line=line)
+        if name == "spawn":
+            target = expr.args[0]
+            if not isinstance(target, A.Name):
+                raise LoweringError("spawn's first argument must be a "
+                                    "function name", line)
+            args = [self.rvalue(a) for a in expr.args[1:]]
+            return b.spawn(target.ident, args, line=line)
+        if name == "join":
+            return b.join(arg(0), line=line)
+
+        args = [self.rvalue(a) for a in expr.args]
+        target_fn = self.module.get_function(name)
+        if target_fn is not None:
+            return b.call(target_fn, args, line=line)
+        from ..vm.builtins import is_builtin
+
+        if is_builtin(name):
+            ret = ty.I64 if name == "rand" else ty.VOID
+            return b.call(name, args, ret_type=ret, line=line)
+        raise LoweringError(f"call to undeclared function {name!r}", line)
+
+    @property
+    def parent(self) -> Lowerer:
+        return self._parent
+
+    @parent.setter
+    def parent(self, value: Lowerer) -> None:
+        self._parent = value

@@ -1,0 +1,86 @@
+"""NVM intermediate representation.
+
+An LLVM-flavoured typed IR with explicit persistence primitives (``palloc``,
+``flush``, ``fence``, ``txbegin``/``txend``/``txadd``) plus a builder API,
+textual parser/printer, verifier, and the persist-annotation registry that
+tells DeepMC which framework functions perform persistent operations.
+"""
+
+from . import instructions, types
+from .annotations import (
+    EFFECT_ALLOC,
+    EFFECT_FENCE,
+    EFFECT_FLUSH,
+    EFFECT_LOG,
+    EFFECT_TX_BEGIN,
+    EFFECT_TX_END,
+    EFFECT_WRITE,
+    AnnotationRegistry,
+    Effect,
+    PersistAnnotation,
+)
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    REGION_EPOCH,
+    REGION_STRAND,
+    REGION_TX,
+    Instruction,
+)
+from .module import PERSISTENCY_FLAGS, Module
+from .parser import parse_module
+from .printer import print_function, print_module
+from .sourceloc import UNKNOWN_LOC, SourceLoc
+from .values import (
+    Argument,
+    Constant,
+    GlobalRef,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+    null_ptr,
+    undef,
+)
+from .verifier import verify_function, verify_module
+
+__all__ = [
+    "AnnotationRegistry",
+    "Argument",
+    "BasicBlock",
+    "Constant",
+    "Effect",
+    "EFFECT_ALLOC",
+    "EFFECT_FENCE",
+    "EFFECT_FLUSH",
+    "EFFECT_LOG",
+    "EFFECT_TX_BEGIN",
+    "EFFECT_TX_END",
+    "EFFECT_WRITE",
+    "Function",
+    "GlobalRef",
+    "IRBuilder",
+    "Instruction",
+    "Module",
+    "PERSISTENCY_FLAGS",
+    "PersistAnnotation",
+    "REGION_EPOCH",
+    "REGION_STRAND",
+    "REGION_TX",
+    "SourceLoc",
+    "UNKNOWN_LOC",
+    "Value",
+    "const_bool",
+    "const_float",
+    "const_int",
+    "instructions",
+    "null_ptr",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "types",
+    "undef",
+    "verify_function",
+    "verify_module",
+]

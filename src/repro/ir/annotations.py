@@ -1,0 +1,115 @@
+"""Persist-effect annotations for framework functions.
+
+DeepMC "uses an interface to track every function that performs persistent
+operations" (§4.1): the user declares, in a handful of lines, which
+framework entry points write, flush, fence, allocate, log, or delimit
+transactions. This module is that interface.
+
+An annotation is a list of :class:`Effect` records describing what a call
+does in terms of the IR's persistence primitives. The trace collector
+expands an annotated call into the corresponding abstract events *instead
+of* inlining its body, exactly as the paper resolves ``nvm_persist1`` to
+"flush + fence" without another DSG node (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import IRError
+
+# Effect kinds, in the vocabulary of the checking rules.
+EFFECT_WRITE = "write"        # stores through ptr_arg (size_arg bytes)
+EFFECT_FLUSH = "flush"        # initiates write-back of ptr_arg
+EFFECT_FENCE = "fence"        # persist barrier
+EFFECT_ALLOC = "alloc"        # returns a fresh persistent object
+EFFECT_LOG = "log"            # undo-logs ptr_arg into the enclosing tx
+EFFECT_TX_BEGIN = "tx_begin"  # opens a region (region_kind)
+EFFECT_TX_END = "tx_end"      # closes a region (region_kind)
+
+EFFECT_KINDS = (
+    EFFECT_WRITE,
+    EFFECT_FLUSH,
+    EFFECT_FENCE,
+    EFFECT_ALLOC,
+    EFFECT_LOG,
+    EFFECT_TX_BEGIN,
+    EFFECT_TX_END,
+)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One abstract persistence effect of an annotated function.
+
+    ``ptr_arg``/``size_arg`` are argument indices into the call; a
+    ``size_arg`` of ``-1`` means "the whole object the pointer refers to".
+    """
+
+    kind: str
+    ptr_arg: int = -1
+    size_arg: int = -1
+    region_kind: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EFFECT_KINDS:
+            raise IRError(f"unknown effect kind {self.kind!r}")
+        if self.kind in (EFFECT_WRITE, EFFECT_FLUSH, EFFECT_LOG) and self.ptr_arg < 0:
+            raise IRError(f"effect {self.kind!r} requires a ptr_arg")
+        if self.kind in (EFFECT_TX_BEGIN, EFFECT_TX_END) and not self.region_kind:
+            raise IRError(f"effect {self.kind!r} requires a region_kind")
+
+
+@dataclass
+class PersistAnnotation:
+    """The declared persistence behaviour of one function."""
+
+    function: str
+    effects: List[Effect] = field(default_factory=list)
+    #: Human-readable origin, e.g. "pmdk" — used in reports.
+    framework: str = ""
+
+    def has_effect(self, kind: str) -> bool:
+        return any(e.kind == kind for e in self.effects)
+
+
+class AnnotationRegistry:
+    """Per-module table of persist annotations, keyed by function name."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, PersistAnnotation] = {}
+
+    def register(self, annotation: PersistAnnotation) -> PersistAnnotation:
+        if annotation.function in self._by_name:
+            raise IRError(
+                f"annotation for @{annotation.function} already registered"
+            )
+        self._by_name[annotation.function] = annotation
+        return annotation
+
+    def annotate(
+        self,
+        function: str,
+        effects: Sequence[Effect],
+        framework: str = "",
+    ) -> PersistAnnotation:
+        """Shorthand: build and register an annotation."""
+        return self.register(PersistAnnotation(function, list(effects), framework))
+
+    def lookup(self, function: str) -> Optional[PersistAnnotation]:
+        return self._by_name.get(function)
+
+    def is_annotated(self, function: str) -> bool:
+        return function in self._by_name
+
+    def functions(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def merge_from(self, other: "AnnotationRegistry") -> None:
+        """Import all annotations from ``other`` (duplicates are errors)."""
+        for name in other.functions():
+            self.register(other.lookup(name))  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return len(self._by_name)

@@ -1,0 +1,50 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..errors import IRError
+from .instructions import Instruction
+
+
+class BasicBlock:
+    """A labelled sequence of instructions inside a function.
+
+    Blocks do not enforce the single-terminator invariant on append (the
+    builder would be unusable otherwise); the verifier checks it after
+    construction.
+    """
+
+    def __init__(self, label: str):
+        if not label:
+            raise IRError("basic blocks must be labelled")
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.parent = None  # set by Function.add_block
+
+    def append(self, inst: Instruction) -> Instruction:
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def is_terminated(self) -> bool:
+        return self.terminator() is not None
+
+    def successors_labels(self) -> List[str]:
+        term = self.terminator()
+        return term.successors_labels() if term else []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.label}: {len(self.instructions)} insts>"

@@ -1,0 +1,280 @@
+"""Fluent construction API for NVM IR.
+
+Frameworks, the bug corpus, and the applications all build their IR through
+:class:`IRBuilder`. The builder tracks an insertion point (a basic block)
+and a current source location, auto-names temporaries, and accepts Python
+ints where integer constants are expected.
+
+Typical use::
+
+    mod = Module("demo", persistency_model="strict")
+    node = mod.define_struct("node", [("next", ty.PTR), ("value", ty.I64)])
+    fn = mod.define_function("set_value", ty.VOID,
+                             [("n", ty.pointer_to(node)), ("v", ty.I64)])
+    b = IRBuilder(fn, source_file="demo.c")
+    b.at(10)
+    vp = b.getfield(fn.arg("n"), "value")
+    b.store(fn.arg("v"), vp)
+    b.flush(fn.arg("n"), node.size(), line=11)
+    b.fence(line=12)
+    b.ret()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..errors import IRError
+from . import instructions as ins
+from . import types as ty
+from .basicblock import BasicBlock
+from .function import Function
+from .sourceloc import SourceLoc
+from .values import Constant, Value, const_int
+
+IntOrValue = Union[int, Value]
+
+
+class IRBuilder:
+    """Builds instructions into a function, one block at a time."""
+
+    def __init__(self, function: Function, source_file: str = ""):
+        self.function = function
+        self.source_file = source_file or function.source_file or "<built>"
+        if not function.source_file:
+            function.source_file = self.source_file
+        self._block: Optional[BasicBlock] = None
+        self._tmp = 0
+        self._line = 0
+        if not function.blocks:
+            self._block = function.add_block("entry")
+        else:
+            self._block = function.blocks[-1]
+
+    # -- positioning -------------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("builder has no insertion block")
+        return self._block
+
+    def new_block(self, label: str) -> BasicBlock:
+        """Create a block (without moving the insertion point)."""
+        return self.function.add_block(label)
+
+    def position_at(self, block: BasicBlock) -> "IRBuilder":
+        self._block = block
+        return self
+
+    def at(self, line: int, file: Optional[str] = None) -> "IRBuilder":
+        """Set the source line attached to subsequently built instructions."""
+        self._line = line
+        if file is not None:
+            self.source_file = file
+        return self
+
+    def _loc(self, line: Optional[int]) -> Optional[SourceLoc]:
+        n = line if line is not None else self._line
+        if n:
+            return SourceLoc(self.source_file, n)
+        return None
+
+    def _name(self, hint: str = "t") -> str:
+        self._tmp += 1
+        return f"{hint}{self._tmp}"
+
+    def _value(self, v: IntOrValue, bits: int = 64) -> Value:
+        if isinstance(v, bool):
+            return const_int(1 if v else 0, 1)
+        if isinstance(v, int):
+            return const_int(v, bits)
+        return v
+
+    def _emit(self, inst: ins.Instruction) -> ins.Instruction:
+        self.block.append(inst)
+        return inst
+
+    # -- constants -----------------------------------------------------------
+    def const(self, value: int, bits: int = 64) -> Constant:
+        return const_int(value, bits)
+
+    # -- allocation ----------------------------------------------------------
+    def alloca(self, alloc_type: ty.Type, name: str = "", line: Optional[int] = None):
+        return self._emit(
+            ins.Alloca(alloc_type, name or self._name("a"), self._loc(line))
+        )
+
+    def malloc(self, alloc_type: ty.Type, count: IntOrValue = 1,
+               name: str = "", line: Optional[int] = None):
+        return self._emit(
+            ins.Malloc(alloc_type, self._value(count), name or self._name("m"),
+                       self._loc(line))
+        )
+
+    def palloc(self, alloc_type: ty.Type, count: IntOrValue = 1,
+               name: str = "", line: Optional[int] = None):
+        return self._emit(
+            ins.PAlloc(alloc_type, self._value(count), name or self._name("p"),
+                       self._loc(line))
+        )
+
+    def free(self, ptr: Value, line: Optional[int] = None):
+        return self._emit(ins.Free(ptr, self._loc(line)))
+
+    # -- memory access ---------------------------------------------------------
+    def load(self, ptr: Value, name: str = "", line: Optional[int] = None):
+        pointee = ptr.type.pointee if isinstance(ptr.type, ty.PointerType) else None
+        if pointee is None:
+            raise IRError("load requires a typed pointer; cast it first")
+        return self._emit(
+            ins.Load(pointee, ptr, name or self._name("v"), self._loc(line))
+        )
+
+    def store(self, value: IntOrValue, ptr: Value, line: Optional[int] = None):
+        if isinstance(value, int) and isinstance(ptr.type, ty.PointerType) \
+                and isinstance(ptr.type.pointee, ty.IntType):
+            value = const_int(value, ptr.type.pointee.bits)
+        return self._emit(ins.Store(self._value(value), ptr, self._loc(line)))
+
+    def getfield(self, ptr: Value, field: Union[int, str], name: str = "",
+                 line: Optional[int] = None):
+        base = ptr.type
+        if not isinstance(base, ty.PointerType) or not isinstance(base.pointee, ty.StructType):
+            raise IRError(f"getfield needs pointer-to-struct, got {base}")
+        index = base.pointee.field_index(field) if isinstance(field, str) else field
+        return self._emit(
+            ins.GetField(ptr, index, name or self._name("f"), self._loc(line))
+        )
+
+    def getelem(self, ptr: Value, index: IntOrValue, name: str = "",
+                line: Optional[int] = None):
+        return self._emit(
+            ins.GetElem(ptr, self._value(index), name or self._name("e"),
+                        self._loc(line))
+        )
+
+    def memcpy(self, dst: Value, src: Value, size: IntOrValue,
+               line: Optional[int] = None):
+        return self._emit(
+            ins.Memcpy(dst, src, self._value(size), self._loc(line))
+        )
+
+    def memset(self, dst: Value, byte: IntOrValue, size: IntOrValue,
+               line: Optional[int] = None):
+        return self._emit(
+            ins.Memset(dst, self._value(byte, 8), self._value(size), self._loc(line))
+        )
+
+    # -- persistence -----------------------------------------------------------
+    def flush(self, ptr: Value, size: IntOrValue, line: Optional[int] = None):
+        return self._emit(ins.Flush(ptr, self._value(size), self._loc(line)))
+
+    def flush_obj(self, ptr: Value, line: Optional[int] = None):
+        """Flush the whole pointee object (its static size)."""
+        if not isinstance(ptr.type, ty.PointerType) or ptr.type.pointee is None:
+            raise IRError("flush_obj requires a typed pointer")
+        return self.flush(ptr, ptr.type.pointee.size(), line=line)
+
+    def fence(self, line: Optional[int] = None):
+        return self._emit(ins.Fence(self._loc(line)))
+
+    def persist(self, ptr: Value, size: IntOrValue, line: Optional[int] = None):
+        """flush + fence, the common ``pmemobj_persist`` shape."""
+        self.flush(ptr, size, line=line)
+        return self.fence(line=line)
+
+    def txbegin(self, kind: str = ins.REGION_TX, label: str = "",
+                line: Optional[int] = None):
+        return self._emit(ins.TxBegin(kind, label, self._loc(line)))
+
+    def txend(self, kind: str = ins.REGION_TX, line: Optional[int] = None):
+        return self._emit(ins.TxEnd(kind, self._loc(line)))
+
+    def txadd(self, ptr: Value, size: IntOrValue, line: Optional[int] = None):
+        return self._emit(ins.TxAdd(ptr, self._value(size), self._loc(line)))
+
+    # -- calls / threads -------------------------------------------------------
+    def call(self, callee: Union[str, Function], args: Sequence[Value] = (),
+             ret_type: Optional[ty.Type] = None, name: str = "",
+             line: Optional[int] = None):
+        if isinstance(callee, Function):
+            ret_type = callee.ret_type
+            callee = callee.name
+        if ret_type is None:
+            parent = self.function.parent
+            target = parent.get_function(callee) if parent is not None else None
+            ret_type = target.ret_type if target is not None else ty.VOID
+        result_name = ""
+        if not isinstance(ret_type, ty.VoidType):
+            result_name = name or self._name("r")
+        return self._emit(
+            ins.Call(ret_type, callee, [self._value(a) for a in args],
+                     result_name, self._loc(line))
+        )
+
+    def spawn(self, callee: Union[str, Function], args: Sequence[Value] = (),
+              name: str = "", line: Optional[int] = None):
+        if isinstance(callee, Function):
+            callee = callee.name
+        return self._emit(
+            ins.Spawn(callee, [self._value(a) for a in args],
+                      name or self._name("th"), self._loc(line))
+        )
+
+    def join(self, thread: Value, line: Optional[int] = None):
+        return self._emit(ins.Join(thread, self._loc(line)))
+
+    # -- control flow ------------------------------------------------------------
+    def br(self, cond: Value, then_block: Union[str, BasicBlock],
+           else_block: Union[str, BasicBlock], line: Optional[int] = None):
+        t = then_block.label if isinstance(then_block, BasicBlock) else then_block
+        e = else_block.label if isinstance(else_block, BasicBlock) else else_block
+        return self._emit(ins.Br(cond, t, e, self._loc(line)))
+
+    def jmp(self, target: Union[str, BasicBlock], line: Optional[int] = None):
+        t = target.label if isinstance(target, BasicBlock) else target
+        return self._emit(ins.Jmp(t, self._loc(line)))
+
+    def ret(self, value: Optional[IntOrValue] = None, line: Optional[int] = None):
+        v = None if value is None else self._value(value)
+        return self._emit(ins.Ret(v, self._loc(line)))
+
+    # -- arithmetic ---------------------------------------------------------------
+    def binop(self, op: str, a: IntOrValue, b: IntOrValue, name: str = "",
+              line: Optional[int] = None):
+        av = self._value(a)
+        bv = self._value(b)
+        if isinstance(av, Constant) and not isinstance(bv, Constant):
+            av = Constant(bv.type, av.value) if isinstance(bv.type, ty.IntType) else av
+        if isinstance(bv, Constant) and not isinstance(av, Constant):
+            bv = Constant(av.type, bv.value) if isinstance(av.type, ty.IntType) else bv
+        return self._emit(
+            ins.BinOp(op, av, bv, name or self._name("x"), self._loc(line))
+        )
+
+    def add(self, a, b, name="", line=None):
+        return self.binop("add", a, b, name, line)
+
+    def sub(self, a, b, name="", line=None):
+        return self.binop("sub", a, b, name, line)
+
+    def mul(self, a, b, name="", line=None):
+        return self.binop("mul", a, b, name, line)
+
+    def icmp(self, pred: str, a: IntOrValue, b: IntOrValue, name: str = "",
+             line: Optional[int] = None):
+        av = self._value(a)
+        bv = self._value(b)
+        if isinstance(av, Constant) and isinstance(bv.type, ty.IntType):
+            av = Constant(bv.type, av.value)
+        if isinstance(bv, Constant) and isinstance(av.type, ty.IntType):
+            bv = Constant(av.type, bv.value)
+        return self._emit(
+            ins.ICmp(pred, av, bv, name or self._name("c"), self._loc(line))
+        )
+
+    def cast(self, value: Value, to_type: ty.Type, name: str = "",
+             line: Optional[int] = None):
+        return self._emit(
+            ins.Cast(value, to_type, name or self._name("k"), self._loc(line))
+        )

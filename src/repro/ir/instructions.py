@@ -1,0 +1,561 @@
+"""Instruction set of the NVM IR.
+
+The instruction set is deliberately close to what DeepMC consumes from
+LLVM IR: ordinary loads/stores, pointer arithmetic (split into explicit
+``getfield``/``getelem`` for field-sensitivity), calls, branches — plus the
+persistence primitives the paper's rules are written over:
+
+* ``palloc``  — allocate from persistent memory (malloc-like, tracked by DSA)
+* ``flush``   — write a byte range back to NVM (``clwb``-like, asynchronous)
+* ``fence``   — persist barrier (``sfence``-like, drains pending flushes)
+* ``txbegin``/``txend`` — region markers for durable transactions, epochs,
+  and strands (the annotations NVM programs already carry, §4.4)
+* ``txadd``   — undo-log an object into the enclosing transaction
+
+Threads exist so the dynamic checker has real concurrency to race-detect:
+``spawn``/``join`` create and join interpreter threads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import IRError
+from . import types as ty
+from .sourceloc import UNKNOWN_LOC, SourceLoc
+from .values import Constant, Value
+
+# Region kinds for txbegin/txend.
+REGION_TX = "tx"          # durable transaction (PMDK TX_BEGIN, nvm_txbegin)
+REGION_EPOCH = "epoch"    # epoch boundary region (PMFS/Mnemosyne)
+REGION_STRAND = "strand"  # strand region (strand persistency)
+
+REGION_KINDS = (REGION_TX, REGION_EPOCH, REGION_STRAND)
+
+BINARY_OPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr")
+ICMP_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+class Instruction(Value):
+    """Base class: an instruction is also a value (its result)."""
+
+    opcode = "?"
+
+    def __init__(
+        self,
+        type_: ty.Type,
+        operands: Sequence[Value] = (),
+        name: str = "",
+        loc: Optional[SourceLoc] = None,
+    ):
+        super().__init__(type_, name)
+        self.operands: List[Value] = list(operands)
+        self.loc: SourceLoc = loc if loc is not None else UNKNOWN_LOC
+        self.parent = None  # set by BasicBlock.append
+
+    # -- classification helpers used throughout analyses ----------------
+    def has_result(self) -> bool:
+        return not isinstance(self.type, ty.VoidType)
+
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, Jmp, Ret))
+
+    def successors_labels(self) -> List[str]:
+        return []
+
+    # -- printing --------------------------------------------------------
+    def _operand_str(self) -> str:
+        return ", ".join(op.ref() for op in self.operands)
+
+    def format(self) -> str:
+        head = f"%{self.name} = " if self.has_result() and self.name else ""
+        return f"{head}{self.opcode} {self._operand_str()}".rstrip()
+
+    def format_with_loc(self) -> str:
+        text = self.format()
+        if self.loc is not UNKNOWN_LOC:
+            text += f'  !loc "{self.loc.file}":{self.loc.line}'
+        return text
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.format()}>"
+
+
+# ---------------------------------------------------------------------------
+# Memory allocation
+# ---------------------------------------------------------------------------
+
+class Alloca(Instruction):
+    """Stack allocation of a single ``alloc_type`` (always volatile)."""
+
+    opcode = "alloca"
+
+    def __init__(self, alloc_type: ty.Type, name: str = "", loc=None):
+        super().__init__(ty.pointer_to(alloc_type), (), name, loc)
+        self.alloc_type = alloc_type
+
+    def format(self) -> str:
+        return f"%{self.name} = alloca {self.alloc_type}"
+
+
+class Malloc(Instruction):
+    """Volatile heap allocation of ``count`` elements of ``alloc_type``."""
+
+    opcode = "malloc"
+
+    def __init__(self, alloc_type: ty.Type, count: Value, name: str = "", loc=None):
+        super().__init__(ty.pointer_to(alloc_type), (count,), name, loc)
+        self.alloc_type = alloc_type
+
+    @property
+    def count(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        return f"%{self.name} = malloc {self.alloc_type}, {self.count.ref()}"
+
+
+class PAlloc(Instruction):
+    """Persistent-heap allocation — the malloc-like functions DSA tracks."""
+
+    opcode = "palloc"
+
+    def __init__(self, alloc_type: ty.Type, count: Value, name: str = "", loc=None):
+        super().__init__(ty.pointer_to(alloc_type), (count,), name, loc)
+        self.alloc_type = alloc_type
+
+    @property
+    def count(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        return f"%{self.name} = palloc {self.alloc_type}, {self.count.ref()}"
+
+
+class Free(Instruction):
+    """Release a heap allocation (volatile or persistent)."""
+
+    opcode = "free"
+
+    def __init__(self, ptr: Value, loc=None):
+        super().__init__(ty.VOID, (ptr,), "", loc)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+
+# ---------------------------------------------------------------------------
+# Memory access and addressing
+# ---------------------------------------------------------------------------
+
+class Load(Instruction):
+    """``%v = load T, %ptr``."""
+
+    opcode = "load"
+
+    def __init__(self, value_type: ty.Type, ptr: Value, name: str = "", loc=None):
+        super().__init__(value_type, (ptr,), name, loc)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        return f"%{self.name} = load {self.type}, {self.ptr.ref()}"
+
+
+class Store(Instruction):
+    """``store T %val, %ptr``."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, ptr: Value, loc=None):
+        super().__init__(ty.VOID, (value, ptr), "", loc)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return f"store {self.value.type} {self.value.ref()}, {self.ptr.ref()}"
+
+
+class GetField(Instruction):
+    """``%f = getfield %ptr, idx`` — address of struct field ``idx``.
+
+    Keeping field selection explicit (instead of a multi-index GEP) is what
+    gives every analysis field-sensitivity for free.
+    """
+
+    opcode = "getfield"
+
+    def __init__(self, ptr: Value, index: int, name: str = "", loc=None):
+        base = ptr.type
+        if not isinstance(base, ty.PointerType) or not isinstance(base.pointee, ty.StructType):
+            raise IRError(f"getfield requires a pointer-to-struct operand, got {base}")
+        struct = base.pointee
+        ftype = struct.field_type(index)
+        super().__init__(ty.pointer_to(ftype), (ptr,), name, loc)
+        self.index = index
+        self.struct = struct
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    def field_name(self) -> str:
+        return self.struct.field_name(self.index)
+
+    def format(self) -> str:
+        return f"%{self.name} = getfield {self.ptr.ref()}, {self.index}"
+
+
+class GetElem(Instruction):
+    """``%e = getelem %ptr, %i`` — address of element ``i``.
+
+    Works on pointer-to-array (indexes into the array) and on plain typed
+    pointers (pointer arithmetic in element units).
+    """
+
+    opcode = "getelem"
+
+    def __init__(self, ptr: Value, index: Value, name: str = "", loc=None):
+        base = ptr.type
+        if not isinstance(base, ty.PointerType) or base.pointee is None:
+            raise IRError(f"getelem requires a typed pointer operand, got {base}")
+        if isinstance(base.pointee, ty.ArrayType):
+            elem = base.pointee.elem
+        else:
+            elem = base.pointee
+        super().__init__(ty.pointer_to(elem), (ptr, index), name, loc)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return f"%{self.name} = getelem {self.ptr.ref()}, {self.index.ref()}"
+
+
+class Memcpy(Instruction):
+    """``memcpy %dst, %src, %size`` (byte count)."""
+
+    opcode = "memcpy"
+
+    def __init__(self, dst: Value, src: Value, size: Value, loc=None):
+        super().__init__(ty.VOID, (dst, src, size), "", loc)
+
+    @property
+    def dst(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def src(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def size(self) -> Value:
+        return self.operands[2]
+
+
+class Memset(Instruction):
+    """``memset %dst, byte, %size``."""
+
+    opcode = "memset"
+
+    def __init__(self, dst: Value, byte: Value, size: Value, loc=None):
+        super().__init__(ty.VOID, (dst, byte, size), "", loc)
+
+    @property
+    def dst(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def byte(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def size(self) -> Value:
+        return self.operands[2]
+
+
+# ---------------------------------------------------------------------------
+# Persistence primitives
+# ---------------------------------------------------------------------------
+
+class Flush(Instruction):
+    """``flush %ptr, %size`` — initiate write-back of [ptr, ptr+size).
+
+    Asynchronous like ``clwb``: durability is only guaranteed once a
+    subsequent ``fence`` completes.
+    """
+
+    opcode = "flush"
+
+    def __init__(self, ptr: Value, size: Value, loc=None):
+        super().__init__(ty.VOID, (ptr, size), "", loc)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def size(self) -> Value:
+        return self.operands[1]
+
+
+class Fence(Instruction):
+    """``fence`` — persist barrier; all earlier flushes complete before it."""
+
+    opcode = "fence"
+
+    def __init__(self, loc=None):
+        super().__init__(ty.VOID, (), "", loc)
+
+    def format(self) -> str:
+        return "fence"
+
+
+class TxBegin(Instruction):
+    """``txbegin kind`` — enter a durable-tx / epoch / strand region."""
+
+    opcode = "txbegin"
+
+    def __init__(self, kind: str, label: str = "", loc=None):
+        if kind not in REGION_KINDS:
+            raise IRError(f"unknown region kind {kind!r}")
+        super().__init__(ty.VOID, (), "", loc)
+        self.kind = kind
+        self.label = label
+
+    def format(self) -> str:
+        if self.label:
+            return f'txbegin {self.kind} "{self.label}"'
+        return f"txbegin {self.kind}"
+
+
+class TxEnd(Instruction):
+    """``txend kind`` — leave the innermost region of ``kind``."""
+
+    opcode = "txend"
+
+    def __init__(self, kind: str, loc=None):
+        if kind not in REGION_KINDS:
+            raise IRError(f"unknown region kind {kind!r}")
+        super().__init__(ty.VOID, (), "", loc)
+        self.kind = kind
+
+    def format(self) -> str:
+        return f"txend {self.kind}"
+
+
+class TxAdd(Instruction):
+    """``txadd %ptr, %size`` — undo-log an object range into the current tx.
+
+    Mirrors PMDK's ``TX_ADD``: the logged range is flushed (and made
+    recoverable) when the transaction commits.
+    """
+
+    opcode = "txadd"
+
+    def __init__(self, ptr: Value, size: Value, loc=None):
+        super().__init__(ty.VOID, (ptr, size), "", loc)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def size(self) -> Value:
+        return self.operands[1]
+
+
+# ---------------------------------------------------------------------------
+# Calls and control flow
+# ---------------------------------------------------------------------------
+
+class Call(Instruction):
+    """``%r = call T @callee(args...)``; callee is resolved by name."""
+
+    opcode = "call"
+
+    def __init__(self, ret_type: ty.Type, callee: str, args: Sequence[Value],
+                 name: str = "", loc=None):
+        super().__init__(ret_type, args, name, loc)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+    def format(self) -> str:
+        head = f"%{self.name} = " if self.has_result() and self.name else ""
+        return f"{head}call {self.type} @{self.callee}({self._operand_str()})"
+
+
+class Spawn(Instruction):
+    """``%t = spawn @fn(args...)`` — start a new interpreter thread."""
+
+    opcode = "spawn"
+
+    def __init__(self, callee: str, args: Sequence[Value], name: str = "", loc=None):
+        super().__init__(ty.I64, args, name, loc)
+        self.callee = callee
+
+    @property
+    def args(self) -> List[Value]:
+        return self.operands
+
+    def format(self) -> str:
+        return f"%{self.name} = spawn @{self.callee}({self._operand_str()})"
+
+
+class Join(Instruction):
+    """``join %t`` — wait for a spawned thread to finish."""
+
+    opcode = "join"
+
+    def __init__(self, thread: Value, loc=None):
+        super().__init__(ty.VOID, (thread,), "", loc)
+
+    @property
+    def thread(self) -> Value:
+        return self.operands[0]
+
+
+class Br(Instruction):
+    """``br %cond, label %then, label %else``."""
+
+    opcode = "br"
+
+    def __init__(self, cond: Value, then_label: str, else_label: str, loc=None):
+        super().__init__(ty.VOID, (cond,), "", loc)
+        self.then_label = then_label
+        self.else_label = else_label
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    def successors_labels(self) -> List[str]:
+        return [self.then_label, self.else_label]
+
+    def format(self) -> str:
+        return f"br {self.cond.ref()}, label %{self.then_label}, label %{self.else_label}"
+
+
+class Jmp(Instruction):
+    """``jmp label %target``."""
+
+    opcode = "jmp"
+
+    def __init__(self, target: str, loc=None):
+        super().__init__(ty.VOID, (), "", loc)
+        self.target = target
+
+    def successors_labels(self) -> List[str]:
+        return [self.target]
+
+    def format(self) -> str:
+        return f"jmp label %{self.target}"
+
+
+class Ret(Instruction):
+    """``ret %v`` or ``ret void``."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None, loc=None):
+        super().__init__(ty.VOID, (value,) if value is not None else (), "", loc)
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def format(self) -> str:
+        if self.value is None:
+            return "ret void"
+        return f"ret {self.value.type} {self.value.ref()}"
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+class BinOp(Instruction):
+    """``%x = add i64 %a, %b`` and friends (see :data:`BINARY_OPS`)."""
+
+    opcode = "binop"
+
+    def __init__(self, op: str, a: Value, b: Value, name: str = "", loc=None):
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary op {op!r}")
+        if a.type != b.type:
+            raise IRError(f"binop operand types differ: {a.type} vs {b.type}")
+        super().__init__(a.type, (a, b), name, loc)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return (
+            f"%{self.name} = {self.op} {self.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class ICmp(Instruction):
+    """``%c = icmp slt i64 %a, %b`` → i1."""
+
+    opcode = "icmp"
+
+    def __init__(self, pred: str, a: Value, b: Value, name: str = "", loc=None):
+        if pred not in ICMP_PREDS:
+            raise IRError(f"unknown icmp predicate {pred!r}")
+        super().__init__(ty.I1, (a, b), name, loc)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def format(self) -> str:
+        return (
+            f"%{self.name} = icmp {self.pred} {self.lhs.type} "
+            f"{self.lhs.ref()}, {self.rhs.ref()}"
+        )
+
+
+class Cast(Instruction):
+    """``%y = cast %x to T`` — int↔int width changes and pointer casts."""
+
+    opcode = "cast"
+
+    def __init__(self, value: Value, to_type: ty.Type, name: str = "", loc=None):
+        super().__init__(to_type, (value,), name, loc)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def format(self) -> str:
+        return f"%{self.name} = cast {self.value.ref()} to {self.type}"

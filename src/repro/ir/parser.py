@@ -1,0 +1,452 @@
+"""Parser for the textual NVM IR format.
+
+Grammar sketch (one construct per line; ``;`` starts a comment)::
+
+    module "name" model strict|epoch|strand
+
+    struct %node { i64 value, %node* next }
+
+    define void @fn(i64 %x, %node* %n) !file "fn.c" {
+    entry:
+      %p = alloca i64
+      store i64 %x, %p            !loc "fn.c":3
+      %v = load i64, %p
+      %f = getfield %n, 1
+      %e = getelem %f, %v
+      flush %n, 16
+      fence
+      txbegin tx "outer"
+      txadd %n, 16
+      txend tx
+      %r = call i64 @callee(%v)
+      %t = spawn @worker(%v)
+      join %t
+      %c = icmp slt i64 %v, 10
+      br %c, label %then, label %else
+      jmp label %exit
+      ret void
+    }
+
+Every construct the printer emits parses back; ``parse → print → parse``
+is the round-trip property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from . import instructions as ins
+from . import types as ty
+from .function import Function
+from .module import Module
+from .sourceloc import SourceLoc
+from .values import Constant, Value, const_int, null_ptr, undef
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        "(?:[^"\\]|\\.)*"        # string literal
+      | ![a-zA-Z_]+              # metadata tag (!loc, !file)
+      | %[a-zA-Z_][\w.]*         # local name / struct name
+      | @[a-zA-Z_][\w.]*         # global name
+      | \[|\]|\{|\}|\(|\)|,|\*|=|:  # punctuation
+      | -?\d+                    # integer
+      | \.\.\.                   # vararg ellipsis
+      | [a-zA-Z_][\w.]*          # keyword / opcode / type
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(line: str, lineno: int) -> List[str]:
+    code = line.split(";", 1)[0].rstrip()
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(code):
+        m = _TOKEN_RE.match(code, pos)
+        if not m:
+            if code[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {code[pos]!r}", lineno, pos + 1)
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _Cursor:
+    """Token stream over one source line."""
+
+    def __init__(self, tokens: List[str], lineno: int):
+        self.tokens = tokens
+        self.lineno = lineno
+        self.i = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of line", self.lineno)
+        self.i += 1
+        return tok
+
+    def expect(self, token: str) -> str:
+        tok = self.next()
+        if tok != token:
+            raise ParseError(f"expected {token!r}, got {tok!r}", self.lineno)
+        return tok
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.i += 1
+            return True
+        return False
+
+    def done(self) -> bool:
+        return self.i >= len(self.tokens)
+
+
+def _unquote(tok: str) -> str:
+    return tok[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+class Parser:
+    """Parses a full module from text."""
+
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.module: Optional[Module] = None
+
+    # -- types -----------------------------------------------------------
+    def parse_type(self, cur: _Cursor) -> ty.Type:
+        tok = cur.next()
+        if tok == "void":
+            base: ty.Type = ty.VOID
+        elif tok == "f64":
+            base = ty.F64
+        elif tok == "ptr":
+            base = ty.PTR
+        elif re.fullmatch(r"i\d+", tok):
+            base = ty.int_type(int(tok[1:]))
+        elif tok.startswith("%"):
+            assert self.module is not None
+            base = self.module.struct(tok[1:])
+        elif tok == "[":
+            count = int(cur.next())
+            cur.expect("x")
+            elem = self.parse_type(cur)
+            cur.expect("]")
+            base = ty.ArrayType(elem, count)
+        else:
+            raise ParseError(f"expected a type, got {tok!r}", cur.lineno)
+        while cur.accept("*"):
+            base = ty.pointer_to(base)
+        return base
+
+    # -- values ------------------------------------------------------------
+    def parse_value(self, cur: _Cursor, locals_: Dict[str, Value],
+                    expected: Optional[ty.Type] = None) -> Value:
+        tok = cur.next()
+        if tok.startswith("%"):
+            name = tok[1:]
+            try:
+                return locals_[name]
+            except KeyError:
+                raise ParseError(f"use of undefined value %{name}", cur.lineno) from None
+        if tok == "null":
+            pointee = expected.pointee if isinstance(expected, ty.PointerType) else None
+            return null_ptr(pointee)
+        if tok == "undef":
+            return undef(expected or ty.I64)
+        if re.fullmatch(r"-?\d+", tok):
+            if isinstance(expected, ty.IntType):
+                return Constant(expected, int(tok))
+            return const_int(int(tok))
+        raise ParseError(f"expected a value, got {tok!r}", cur.lineno)
+
+    # -- metadata suffixes -----------------------------------------------------
+    def parse_loc(self, cur: _Cursor) -> Optional[SourceLoc]:
+        if cur.accept("!loc"):
+            file_tok = cur.next()
+            if not file_tok.startswith('"'):
+                raise ParseError("!loc expects a quoted filename", cur.lineno)
+            cur.expect(":")
+            line = int(cur.next())
+            return SourceLoc(_unquote(file_tok), line)
+        return None
+
+    # -- top level ---------------------------------------------------------------
+    def parse(self) -> Module:
+        i = 0
+        n = len(self.lines)
+        while i < n:
+            lineno = i + 1
+            tokens = _tokenize(self.lines[i], lineno)
+            if not tokens:
+                i += 1
+                continue
+            head = tokens[0]
+            if head == "module":
+                self._parse_module_header(_Cursor(tokens, lineno))
+                i += 1
+            elif head == "struct":
+                self._require_module(lineno)
+                self._parse_struct(_Cursor(tokens, lineno))
+                i += 1
+            elif head in ("define", "declare"):
+                self._require_module(lineno)
+                i = self._parse_function(i)
+            else:
+                raise ParseError(f"unexpected top-level token {head!r}", lineno)
+        if self.module is None:
+            raise ParseError("input contains no 'module' header")
+        return self.module
+
+    def _require_module(self, lineno: int) -> None:
+        if self.module is None:
+            raise ParseError("'module' header must come first", lineno)
+
+    def _parse_module_header(self, cur: _Cursor) -> None:
+        if self.module is not None:
+            raise ParseError("duplicate module header", cur.lineno)
+        cur.expect("module")
+        name_tok = cur.next()
+        if not name_tok.startswith('"'):
+            raise ParseError("module name must be quoted", cur.lineno)
+        cur.expect("model")
+        model = cur.next()
+        self.module = Module(_unquote(name_tok), persistency_model=model)
+
+    def _parse_struct(self, cur: _Cursor) -> None:
+        assert self.module is not None
+        cur.expect("struct")
+        name_tok = cur.next()
+        if not name_tok.startswith("%"):
+            raise ParseError("struct name must be %-prefixed", cur.lineno)
+        # Register the name before parsing the fields so the struct can
+        # reference itself (linked-list nodes etc.).
+        struct = self.module.define_struct(name_tok[1:], [])
+        cur.expect("{")
+        fields: List[Tuple[str, ty.Type]] = []
+        if not cur.accept("}"):
+            while True:
+                ftype = self.parse_type(cur)
+                fname = cur.next()
+                fields.append((fname, ftype))
+                if cur.accept("}"):
+                    break
+                cur.expect(",")
+        if fields:
+            struct.define_fields(fields)
+
+    def _parse_function(self, start: int) -> int:
+        assert self.module is not None
+        lineno = start + 1
+        cur = _Cursor(_tokenize(self.lines[start], lineno), lineno)
+        kind = cur.next()  # define | declare
+        ret_type = self.parse_type(cur)
+        name_tok = cur.next()
+        if not name_tok.startswith("@"):
+            raise ParseError("function name must be @-prefixed", lineno)
+        cur.expect("(")
+        params: List[Tuple[str, ty.Type]] = []
+        if not cur.accept(")"):
+            while True:
+                ptype = self.parse_type(cur)
+                pname = cur.next()
+                if not pname.startswith("%"):
+                    raise ParseError("parameter name must be %-prefixed", lineno)
+                params.append((pname[1:], ptype))
+                if cur.accept(")"):
+                    break
+                cur.expect(",")
+        source_file = ""
+        if cur.accept("!file"):
+            file_tok = cur.next()
+            source_file = _unquote(file_tok)
+        fn = self.module.define_function(name_tok[1:], ret_type, params, source_file)
+        if kind == "declare":
+            return start + 1
+        cur.expect("{")
+        return self._parse_body(fn, start + 1)
+
+    def _parse_body(self, fn: Function, start: int) -> int:
+        locals_: Dict[str, Value] = {a.name: a for a in fn.args}
+        block = None
+        i = start
+        while i < len(self.lines):
+            lineno = i + 1
+            tokens = _tokenize(self.lines[i], lineno)
+            if not tokens:
+                i += 1
+                continue
+            if tokens == ["}"]:
+                return i + 1
+            cur = _Cursor(tokens, lineno)
+            # Block label?
+            if (
+                len(tokens) >= 2
+                and tokens[1] == ":"
+                and re.fullmatch(r"[a-zA-Z_][\w.]*", tokens[0])
+            ):
+                block = fn.add_block(tokens[0])
+                i += 1
+                continue
+            if block is None:
+                raise ParseError("instruction before any block label", lineno)
+            inst = self._parse_instruction(cur, locals_)
+            block.append(inst)
+            if inst.has_result() and inst.name:
+                locals_[inst.name] = inst
+            if not cur.done():
+                raise ParseError(f"trailing tokens: {cur.peek()!r}", lineno)
+            i += 1
+        raise ParseError(f"unterminated function @{fn.name}", start)
+
+    # -- instructions --------------------------------------------------------
+    def _parse_instruction(self, cur: _Cursor, locals_: Dict[str, Value]) -> ins.Instruction:
+        result = ""
+        if cur.peek() and cur.peek().startswith("%") and cur.tokens[cur.i + 1: cur.i + 2] == ["="]:
+            result = cur.next()[1:]
+            cur.expect("=")
+        op = cur.next()
+        inst = self._dispatch(op, result, cur, locals_)
+        loc = self.parse_loc(cur)
+        if loc is not None:
+            inst.loc = loc
+        return inst
+
+    def _dispatch(self, op: str, result: str, cur: _Cursor,
+                  locals_: Dict[str, Value]) -> ins.Instruction:
+        lineno = cur.lineno
+        val = lambda expected=None: self.parse_value(cur, locals_, expected)  # noqa: E731
+
+        if op == "alloca":
+            return ins.Alloca(self.parse_type(cur), result)
+        if op in ("malloc", "palloc"):
+            t = self.parse_type(cur)
+            count: Value = const_int(1)
+            if cur.accept(","):
+                count = val(ty.I64)
+            cls = ins.Malloc if op == "malloc" else ins.PAlloc
+            return cls(t, count, result)
+        if op == "free":
+            return ins.Free(val())
+        if op == "load":
+            t = self.parse_type(cur)
+            cur.expect(",")
+            return ins.Load(t, val(), result)
+        if op == "store":
+            t = self.parse_type(cur)
+            v = val(t)
+            cur.expect(",")
+            return ins.Store(v, val())
+        if op == "getfield":
+            p = val()
+            cur.expect(",")
+            return ins.GetField(p, int(cur.next()), result)
+        if op == "getelem":
+            p = val()
+            cur.expect(",")
+            return ins.GetElem(p, val(ty.I64), result)
+        if op == "memcpy":
+            d = val()
+            cur.expect(",")
+            s = val()
+            cur.expect(",")
+            return ins.Memcpy(d, s, val(ty.I64))
+        if op == "memset":
+            d = val()
+            cur.expect(",")
+            b = val(ty.I8)
+            cur.expect(",")
+            return ins.Memset(d, b, val(ty.I64))
+        if op == "flush":
+            p = val()
+            cur.expect(",")
+            return ins.Flush(p, val(ty.I64))
+        if op == "fence":
+            return ins.Fence()
+        if op == "txbegin":
+            kind = cur.next()
+            label = ""
+            if cur.peek() and cur.peek().startswith('"'):
+                label = _unquote(cur.next())
+            return ins.TxBegin(kind, label)
+        if op == "txend":
+            return ins.TxEnd(cur.next())
+        if op == "txadd":
+            p = val()
+            cur.expect(",")
+            return ins.TxAdd(p, val(ty.I64))
+        if op == "call":
+            ret = self.parse_type(cur)
+            callee = cur.next()
+            if not callee.startswith("@"):
+                raise ParseError("call target must be @-prefixed", lineno)
+            args = self._parse_args(cur, locals_)
+            return ins.Call(ret, callee[1:], args, result)
+        if op == "spawn":
+            callee = cur.next()
+            if not callee.startswith("@"):
+                raise ParseError("spawn target must be @-prefixed", lineno)
+            args = self._parse_args(cur, locals_)
+            return ins.Spawn(callee[1:], args, result)
+        if op == "join":
+            return ins.Join(val(ty.I64))
+        if op == "br":
+            c = val(ty.I1)
+            cur.expect(",")
+            cur.expect("label")
+            t = cur.next()[1:]
+            cur.expect(",")
+            cur.expect("label")
+            e = cur.next()[1:]
+            return ins.Br(c, t, e)
+        if op == "jmp":
+            cur.expect("label")
+            return ins.Jmp(cur.next()[1:])
+        if op == "ret":
+            if cur.peek() == "void":
+                cur.next()
+                return ins.Ret()
+            t = self.parse_type(cur)
+            return ins.Ret(val(t))
+        if op in ins.BINARY_OPS:
+            t = self.parse_type(cur)
+            a = val(t)
+            cur.expect(",")
+            b = val(t)
+            return ins.BinOp(op, a, b, result)
+        if op == "icmp":
+            pred = cur.next()
+            t = self.parse_type(cur)
+            a = val(t)
+            cur.expect(",")
+            b = val(t)
+            return ins.ICmp(pred, a, b, result)
+        if op == "cast":
+            v = val()
+            cur.expect("to")
+            return ins.Cast(v, self.parse_type(cur), result)
+        raise ParseError(f"unknown opcode {op!r}", lineno)
+
+    def _parse_args(self, cur: _Cursor, locals_: Dict[str, Value]) -> List[Value]:
+        cur.expect("(")
+        args: List[Value] = []
+        if cur.accept(")"):
+            return args
+        while True:
+            args.append(self.parse_value(cur, locals_))
+            if cur.accept(")"):
+                return args
+            cur.expect(",")
+
+
+def parse_module(text: str) -> Module:
+    """Parse a textual module; raises :class:`ParseError` on bad input."""
+    return Parser(text).parse()

@@ -1,0 +1,42 @@
+"""Textual serialization of NVM IR modules.
+
+The output round-trips through :mod:`repro.ir.parser`. The format is
+LLVM-flavoured; see the package docs and the parser's grammar comment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .module import Module
+from .sourceloc import UNKNOWN_LOC
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    header = f"define {fn.ret_type} @{fn.name}({params})"
+    if fn.source_file and fn.source_file != "<built>":
+        header += f' !file "{fn.source_file}"'
+    if fn.is_declaration():
+        return header.replace("define", "declare", 1)
+    lines: List[str] = [header + " {"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for inst in block.instructions:
+            lines.append(f"  {inst.format_with_loc()}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(mod: Module) -> str:
+    """Serialize a whole module (structs, model flag, functions)."""
+    parts: List[str] = [f'module "{mod.name}" model {mod.persistency_model}', ""]
+    for st in mod.types.structs():
+        parts.append(st.definition())
+    if mod.types.structs():
+        parts.append("")
+    for fn in mod.functions():
+        parts.append(print_function(fn))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

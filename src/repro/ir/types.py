@@ -1,0 +1,273 @@
+"""Type system for the NVM IR.
+
+The IR is a small, LLVM-flavoured typed language. Types are immutable and
+interned where cheap to do so. Struct types are *named* and registered on
+the module so that the field-sensitive DSA can reason about field offsets
+(the paper's DSG tracks points-to information per field, §4.2).
+
+Sizes follow a simple, deterministic layout model: ``i8``/``i16``/``i32``/
+``i64`` are 1/2/4/8 bytes, pointers are 8 bytes, floats are 8 bytes,
+structs are laid out field-after-field with natural alignment, and arrays
+are ``count * elem_size``. Cachelines in the NVM substrate are 64 bytes,
+so byte-accurate layout is what makes flush-range reasoning meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import IRError
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def size(self) -> int:
+        """Byte size of a value of this type."""
+        raise NotImplementedError
+
+    def align(self) -> int:
+        """Natural alignment in bytes."""
+        return max(1, min(self.size(), 8))
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (StructType, ArrayType))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Type) and str(self) == str(other)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+class VoidType(Type):
+    """The type of instructions producing no value."""
+
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Fixed-width integer: i1, i8, i16, i32, i64."""
+
+    VALID_BITS = (1, 8, 16, 32, 64)
+
+    def __init__(self, bits: int):
+        if bits not in self.VALID_BITS:
+            raise IRError(f"unsupported integer width: i{bits}")
+        self.bits = bits
+
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """64-bit floating point (``f64``)."""
+
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "f64"
+
+
+class PointerType(Type):
+    """A pointer, optionally typed with its pointee.
+
+    ``pointee`` may be ``None`` for opaque pointers (``ptr``); analyses fall
+    back to the DSG for typing in that case.
+    """
+
+    def __init__(self, pointee: Optional[Type] = None):
+        self.pointee = pointee
+
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        if self.pointee is None:
+            return "ptr"
+        return f"{self.pointee}*"
+
+
+class StructType(Type):
+    """A named struct with ordered, named fields.
+
+    Field offsets are computed eagerly with natural alignment so that the
+    checker can compare flushed byte ranges against modified byte ranges.
+    """
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, Type]]):
+        if not name:
+            raise IRError("struct types must be named")
+        self.name = name
+        self.fields: List[Tuple[str, Type]] = list(fields)
+        self._offsets: List[int] = []
+        self._size = 0
+        self._layout()
+
+    def _layout(self) -> None:
+        offset = 0
+        max_align = 1
+        self._offsets = []
+        for _fname, ftype in self.fields:
+            a = ftype.align()
+            max_align = max(max_align, a)
+            offset = _align_up(offset, a)
+            self._offsets.append(offset)
+            offset += ftype.size()
+        self._size = _align_up(offset, max_align) if self.fields else 0
+
+    def size(self) -> int:
+        return self._size
+
+    def align(self) -> int:
+        return max([f.align() for _, f in self.fields], default=1)
+
+    def define_fields(self, fields: Sequence[Tuple[str, "Type"]]) -> None:
+        """Late field definition, enabling self-referential structs: the
+        parser registers the (empty) named struct first, then fills in the
+        fields — pointer fields to the struct itself never need its size."""
+        if self.fields:
+            raise IRError(f"struct %{self.name} already has fields")
+        self.fields = list(fields)
+        self._layout()
+
+    def field_index(self, name: str) -> int:
+        for i, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return i
+        raise IRError(f"struct %{self.name} has no field named {name!r}")
+
+    def field_offset(self, index: int) -> int:
+        try:
+            return self._offsets[index]
+        except IndexError:
+            raise IRError(
+                f"struct %{self.name} has {len(self.fields)} fields, "
+                f"index {index} out of range"
+            ) from None
+
+    def field_type(self, index: int) -> Type:
+        try:
+            return self.fields[index][1]
+        except IndexError:
+            raise IRError(
+                f"struct %{self.name}: field index {index} out of range"
+            ) from None
+
+    def field_name(self, index: int) -> str:
+        return self.fields[index][0]
+
+    def field_range(self, index: int) -> Tuple[int, int]:
+        """Byte range ``[start, end)`` occupied by field ``index``."""
+        start = self.field_offset(index)
+        return start, start + self.field_type(index).size()
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    def definition(self) -> str:
+        """Full textual definition, as accepted by the parser."""
+        body = ", ".join(f"{t} {n}" for n, t in self.fields)
+        return f"struct %{self.name} {{ {body} }}"
+
+
+class ArrayType(Type):
+    """Fixed-length array ``[count x elem]``."""
+
+    def __init__(self, elem: Type, count: int):
+        if count < 0:
+            raise IRError(f"array length must be non-negative, got {count}")
+        self.elem = elem
+        self.count = count
+
+    def size(self) -> int:
+        return self.elem.size() * self.count
+
+    def align(self) -> int:
+        return self.elem.align()
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.elem}]"
+
+
+class FunctionType(Type):
+    """Type of a function: return type plus parameter types."""
+
+    def __init__(self, ret: Type, params: Sequence[Type], vararg: bool = False):
+        self.ret = ret
+        self.params: List[Type] = list(params)
+        self.vararg = vararg
+
+    def size(self) -> int:
+        return 8  # function pointers
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.vararg:
+            parts.append("...")
+        return f"{self.ret}({', '.join(parts)})"
+
+
+# Interned singletons for the common cases.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F64 = FloatType()
+PTR = PointerType()
+
+
+def int_type(bits: int) -> IntType:
+    """Return the interned integer type for ``bits`` when available."""
+    return {1: I1, 8: I8, 16: I16, 32: I32, 64: I64}.get(bits) or IntType(bits)
+
+
+def pointer_to(pointee: Optional[Type]) -> PointerType:
+    """Convenience constructor mirroring LLVM's ``T*``."""
+    return PointerType(pointee)
+
+
+class TypeContext:
+    """Per-module registry of named struct types."""
+
+    def __init__(self) -> None:
+        self._structs: Dict[str, StructType] = {}
+
+    def define_struct(self, name: str, fields: Sequence[Tuple[str, Type]]) -> StructType:
+        if name in self._structs:
+            raise IRError(f"struct %{name} already defined")
+        st = StructType(name, fields)
+        self._structs[name] = st
+        return st
+
+    def struct(self, name: str) -> StructType:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise IRError(f"unknown struct type %{name}") from None
+
+    def has_struct(self, name: str) -> bool:
+        return name in self._structs
+
+    def structs(self) -> List[StructType]:
+        return list(self._structs.values())

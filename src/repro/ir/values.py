@@ -1,0 +1,101 @@
+"""Values of the NVM IR: constants, arguments, and instruction results.
+
+Every :class:`Value` has a type; named values print as ``%name``. Uses are
+tracked coarsely (the verifier and DSA only need def/use reachability, not
+full use-lists with replacement).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import IRError
+from . import types as ty
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, type_: ty.Type, name: str = ""):
+        self.type = type_
+        self.name = name
+
+    def ref(self) -> str:
+        """Textual reference used when this value appears as an operand."""
+        if not self.name:
+            raise IRError(f"unnamed value of type {self.type} referenced")
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref() if self.name else '?'}: {self.type}>"
+
+
+class Constant(Value):
+    """An integer, float, null-pointer, or undef constant."""
+
+    def __init__(self, type_: ty.Type, value: Union[int, float, None, str]):
+        super().__init__(type_, "")
+        if isinstance(type_, ty.IntType) and isinstance(value, int):
+            # Wrap to the representable range (two's complement).
+            bits = type_.bits
+            mask = (1 << bits) - 1
+            value &= mask
+            if value >= 1 << (bits - 1) and bits > 1:
+                value -= 1 << bits
+        self.value = value
+
+    def ref(self) -> str:
+        if self.value is None:
+            return "null"
+        if self.value == "undef":
+            return "undef"
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((str(self.type), self.value))
+
+
+def const_int(value: int, bits: int = 64) -> Constant:
+    """Build an integer constant (default ``i64``)."""
+    return Constant(ty.int_type(bits), value)
+
+
+def const_bool(value: bool) -> Constant:
+    return Constant(ty.I1, 1 if value else 0)
+
+
+def const_float(value: float) -> Constant:
+    return Constant(ty.F64, float(value))
+
+
+def null_ptr(pointee: Optional[ty.Type] = None) -> Constant:
+    return Constant(ty.pointer_to(pointee), None)
+
+
+def undef(type_: ty.Type) -> Constant:
+    return Constant(type_, "undef")
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: ty.Type, name: str, index: int):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class GlobalRef(Value):
+    """A reference to a function or global by name (prints ``@name``)."""
+
+    def __init__(self, type_: ty.Type, name: str):
+        super().__init__(type_, name)
+
+    def ref(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,21 @@
+"""Simulated NVM substrate: cache, persist domain, durable device, costs."""
+
+from .cache import WriteBackCache
+from .cacheline import CACHELINE, line_index, line_span, lines_covering
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .device import NVMDevice
+from .domain import PersistDomain
+from .stats import NVMStats
+
+__all__ = [
+    "CACHELINE",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "NVMDevice",
+    "NVMStats",
+    "PersistDomain",
+    "WriteBackCache",
+    "line_index",
+    "line_span",
+    "lines_covering",
+]

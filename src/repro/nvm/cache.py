@@ -1,0 +1,72 @@
+"""Write-back cache model for persistent lines.
+
+Tracks the dirty persistent cachelines sitting between the CPU and NVM.
+A bounded capacity with LRU eviction models the "unpredictable cache
+evictions" the paper opens with: dirty lines can reach NVM *without* a
+flush, which is exactly why unflushed writes are sometimes-but-not-always
+durable and so hard to test for.
+
+The cache only tracks *persistent* lines — volatile data can never create
+a persistency bug and tracking it would only slow simulation down (the
+same scalability argument DeepMC makes in §5.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from .cacheline import LineId
+
+
+class WriteBackCache:
+    """LRU set of dirty persistent cachelines.
+
+    ``capacity_lines`` bounds how many dirty lines may be outstanding;
+    overflow evicts the least-recently-touched line through the
+    ``writeback`` callback (installed by the persist domain).
+    """
+
+    def __init__(self, capacity_lines: int = 8192):
+        if capacity_lines <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_lines = capacity_lines
+        self._dirty: "OrderedDict[LineId, None]" = OrderedDict()
+        self._writeback: Optional[Callable[[LineId, bool], None]] = None
+
+    def set_writeback(self, cb: Callable[[LineId, bool], None]) -> None:
+        """Install the eviction/write-back sink. ``cb(line, evicted)``."""
+        self._writeback = cb
+
+    def is_dirty(self, line: LineId) -> bool:
+        return line in self._dirty
+
+    def dirty_lines(self) -> List[LineId]:
+        return list(self._dirty)
+
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def touch_dirty(self, line: LineId) -> None:
+        """Mark a line dirty (a store hit it); may trigger an eviction."""
+        if line in self._dirty:
+            self._dirty.move_to_end(line)
+            return
+        self._dirty[line] = None
+        if len(self._dirty) > self.capacity_lines:
+            victim, _ = self._dirty.popitem(last=False)
+            if self._writeback is not None:
+                self._writeback(victim, True)
+
+    def clean(self, line: LineId) -> bool:
+        """Remove a line from the dirty set; True if it was dirty."""
+        if line in self._dirty:
+            del self._dirty[line]
+            return True
+        return False
+
+    def drop_allocation(self, alloc_id: int) -> None:
+        """Forget all dirty lines of a freed allocation (no write-back)."""
+        stale = [l for l in self._dirty if l[0] == alloc_id]
+        for l in stale:
+            del self._dirty[l]

@@ -1,0 +1,35 @@
+"""Cacheline geometry helpers.
+
+Everything persistence-related happens at cacheline granularity: stores
+dirty lines, ``clwb`` writes lines back, crash states are line-atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: Cacheline size in bytes (x86).
+CACHELINE = 64
+
+#: A line is identified by (allocation id, line index within allocation).
+LineId = Tuple[int, int]
+
+
+def line_index(offset: int) -> int:
+    """Line index containing byte ``offset``."""
+    return offset // CACHELINE
+
+
+def lines_covering(offset: int, size: int) -> Iterator[int]:
+    """Indices of all lines touched by ``[offset, offset+size)``."""
+    if size <= 0:
+        return
+    first = offset // CACHELINE
+    last = (offset + size - 1) // CACHELINE
+    for i in range(first, last + 1):
+        yield i
+
+
+def line_span(index: int) -> Tuple[int, int]:
+    """Byte range ``[start, end)`` of line ``index``."""
+    return index * CACHELINE, (index + 1) * CACHELINE

@@ -1,0 +1,51 @@
+"""Latency cost model for the simulated NVM system.
+
+Cycle counts are loosely calibrated to published Optane measurements
+(Izraelevitz et al., arXiv:1903.05714, cited by the paper): NVM writes are
+several times more expensive than DRAM, an extra write-back adds 2–4x
+latency, and fences serialize. The absolute values matter less than the
+ratios — the paper's performance-bug experiments are about *relative*
+slowdowns from redundant flushes/fences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the interpreter/persist domain."""
+
+    #: Base cost of any executed instruction.
+    instruction: int = 1
+    #: Volatile load / store (cache hit assumed).
+    load: int = 4
+    store: int = 4
+    #: Issuing a clwb-like flush (independent of completion).
+    flush_issue: int = 30
+    #: Writing one cacheline back to NVM media (charged at fence/eviction).
+    nvm_line_writeback: int = 150
+    #: Persist barrier drain (plus per pending line writeback).
+    fence: int = 100
+    #: Per-byte cost for memcpy/memset.
+    byte_move: int = 1
+    #: Transaction bookkeeping (begin/end/log).
+    tx_overhead: int = 20
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly scaled model (used by ablation benches)."""
+        return CostModel(
+            instruction=max(1, int(self.instruction * factor)),
+            load=max(1, int(self.load * factor)),
+            store=max(1, int(self.store * factor)),
+            flush_issue=max(1, int(self.flush_issue * factor)),
+            nvm_line_writeback=max(1, int(self.nvm_line_writeback * factor)),
+            fence=max(1, int(self.fence * factor)),
+            byte_move=max(1, int(self.byte_move * factor)),
+            tx_overhead=max(1, int(self.tx_overhead * factor)),
+        )
+
+
+#: Default model used everywhere unless a bench overrides it.
+DEFAULT_COST_MODEL = CostModel()

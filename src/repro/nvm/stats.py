@@ -1,0 +1,65 @@
+"""Execution statistics for the NVM substrate.
+
+The performance-bug experiments read these counters: redundant flushes show
+up as ``flushes_clean`` (write-backs of lines that were not dirty) and as
+inflated ``nvm_write_bytes``; empty durable transactions show up as fences
+with zero drained lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NVMStats:
+    """Counters accumulated by :class:`repro.nvm.domain.PersistDomain`."""
+
+    stores: int = 0
+    persistent_stores: int = 0
+    loads: int = 0
+    persistent_loads: int = 0
+    flushes: int = 0
+    #: Flushes whose target lines were all clean (pure overhead).
+    flushes_clean: int = 0
+    #: Flush of a line already pending (issued but not yet fenced).
+    flushes_duplicate: int = 0
+    fences: int = 0
+    #: Fences that drained no pending lines (pure overhead).
+    fences_empty: int = 0
+    #: Lines written back to NVM media (fence drains + evictions).
+    lines_written_back: int = 0
+    #: Of those, write-backs triggered by cache eviction.
+    lines_evicted: int = 0
+    nvm_write_bytes: int = 0
+    cycles: int = 0
+    tx_begins: Dict[str, int] = field(default_factory=dict)
+    tx_ends: Dict[str, int] = field(default_factory=dict)
+
+    def record_tx_begin(self, kind: str) -> None:
+        self.tx_begins[kind] = self.tx_begins.get(kind, 0) + 1
+
+    def record_tx_end(self, kind: str) -> None:
+        self.tx_ends[kind] = self.tx_ends.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Flat dict view, for reports and benches."""
+        out = {
+            "stores": self.stores,
+            "persistent_stores": self.persistent_stores,
+            "loads": self.loads,
+            "persistent_loads": self.persistent_loads,
+            "flushes": self.flushes,
+            "flushes_clean": self.flushes_clean,
+            "flushes_duplicate": self.flushes_duplicate,
+            "fences": self.fences,
+            "fences_empty": self.fences_empty,
+            "lines_written_back": self.lines_written_back,
+            "lines_evicted": self.lines_evicted,
+            "nvm_write_bytes": self.nvm_write_bytes,
+            "cycles": self.cycles,
+        }
+        for kind, n in self.tx_begins.items():
+            out[f"tx_begin[{kind}]"] = n
+        return out

@@ -1,0 +1,28 @@
+"""IR interpreter, simulated memory, thread scheduler, and crash injection."""
+
+from .builtins import builtin, builtin_names, is_builtin
+from .crash import CrashRun, CrashState, PersistentObject, enumerate_crash_states, run_with_crash
+from .interpreter import CrashPoint, ExecResult, Interpreter
+from .memory import NULL, Allocation, Memory, Pointer
+from .scheduler import RoundRobinScheduler, Scheduler, SeededScheduler
+
+__all__ = [
+    "Allocation",
+    "CrashPoint",
+    "CrashRun",
+    "CrashState",
+    "ExecResult",
+    "Interpreter",
+    "Memory",
+    "NULL",
+    "PersistentObject",
+    "Pointer",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SeededScheduler",
+    "builtin",
+    "builtin_names",
+    "enumerate_crash_states",
+    "is_builtin",
+    "run_with_crash",
+]

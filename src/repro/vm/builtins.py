@@ -1,0 +1,77 @@
+"""Builtin functions available to IR programs.
+
+Builtins are host-implemented helpers that need no IR body: debug printing,
+assertion, and a tiny deterministic RNG used by workload drivers written in
+IR. Each builtin receives the interpreter thread and the evaluated argument
+list and returns a Python value (or ``None`` for void).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errors import VMError
+
+BuiltinFn = Callable[..., Any]
+
+_BUILTINS: Dict[str, BuiltinFn] = {}
+
+
+def builtin(name: str) -> Callable[[BuiltinFn], BuiltinFn]:
+    """Register a host function as an IR-callable builtin."""
+
+    def deco(fn: BuiltinFn) -> BuiltinFn:
+        if name in _BUILTINS:
+            raise VMError(f"duplicate builtin @{name}")
+        _BUILTINS[name] = fn
+        return fn
+
+    return deco
+
+
+def is_builtin(name: str) -> bool:
+    return name in _BUILTINS
+
+
+def get_builtin(name: str) -> BuiltinFn:
+    try:
+        return _BUILTINS[name]
+    except KeyError:
+        raise VMError(f"unknown builtin @{name}") from None
+
+
+def builtin_names() -> List[str]:
+    return sorted(_BUILTINS)
+
+
+@builtin("print")
+def _print(thread, args: List[Any]) -> None:
+    if thread.interpreter.capture_output is not None:
+        thread.interpreter.capture_output.append(" ".join(str(a) for a in args))
+    else:  # pragma: no cover - interactive convenience only
+        print(*args)
+
+
+@builtin("abort")
+def _abort(thread, args: List[Any]) -> None:
+    raise VMError(f"program aborted: {args[0] if args else ''}")
+
+
+@builtin("assert")
+def _assert(thread, args: List[Any]) -> None:
+    if not args or not args[0]:
+        raise VMError("IR assertion failed")
+
+
+@builtin("rand")
+def _rand(thread, args: List[Any]) -> int:
+    # xorshift64* seeded per-interpreter; deterministic across runs.
+    state = thread.interpreter.rng_state
+    state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+    state ^= state >> 7
+    state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+    thread.interpreter.rng_state = state
+    bound = args[0] if args else (1 << 62)
+    if bound <= 0:
+        raise VMError("rand bound must be positive")
+    return state % bound

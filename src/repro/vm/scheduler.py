@@ -1,0 +1,79 @@
+"""Thread schedulers for the interpreter.
+
+The dynamic checker exercises strand interleavings by running the same
+program under different seeds; schedulers are deliberately deterministic
+functions of their construction parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class Scheduler:
+    """Picks which runnable thread executes the next instruction."""
+
+    def pick(self, runnable: Sequence["object"]) -> "object":
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Runs each thread for ``quantum`` steps before rotating."""
+
+    def __init__(self, quantum: int = 50):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._remaining = quantum
+        self._current_id: Optional[int] = None
+
+    def pick(self, runnable):
+        ids = [t.thread_id for t in runnable]
+        if self._current_id in ids and self._remaining > 0:
+            self._remaining -= 1
+            return runnable[ids.index(self._current_id)]
+        # rotate: next id after current, else first
+        if self._current_id is not None:
+            later = [t for t in runnable if t.thread_id > self._current_id]
+            chosen = later[0] if later else runnable[0]
+        else:
+            chosen = runnable[0]
+        self._current_id = chosen.thread_id
+        self._remaining = self.quantum - 1
+        return chosen
+
+
+class SeededScheduler(Scheduler):
+    """Pseudo-random preemption driven by a deterministic xorshift PRNG.
+
+    With ``switch_prob`` ≈ 0.1 this produces fine-grained interleavings
+    that expose strand races without exhaustive exploration.
+    """
+
+    def __init__(self, seed: int = 1, switch_prob: float = 0.1):
+        if not 0.0 <= switch_prob <= 1.0:
+            raise ValueError("switch_prob must be in [0, 1]")
+        self._state = (seed or 1) & 0xFFFFFFFFFFFFFFFF
+        self.switch_prob = switch_prob
+        self._current_id: Optional[int] = None
+
+    def _next_rand(self) -> float:
+        s = self._state
+        s ^= (s << 13) & 0xFFFFFFFFFFFFFFFF
+        s ^= s >> 7
+        s ^= (s << 17) & 0xFFFFFFFFFFFFFFFF
+        self._state = s
+        return (s >> 11) / float(1 << 53)
+
+    def pick(self, runnable):
+        ids = [t.thread_id for t in runnable]
+        stay = (
+            self._current_id in ids
+            and self._next_rand() >= self.switch_prob
+        )
+        if stay:
+            return runnable[ids.index(self._current_id)]
+        idx = int(self._next_rand() * len(runnable)) % len(runnable)
+        chosen = runnable[idx]
+        self._current_id = chosen.thread_id
+        return chosen

@@ -1,0 +1,133 @@
+"""Tests for CFG utilities and the call graph."""
+
+import pytest
+
+from repro.analysis import CFG, CallGraph
+from repro.errors import AnalysisError
+from repro.ir import IRBuilder, Module, types as ty
+
+
+def diamond_module():
+    """entry -> (then|else) -> join, with a loop join -> entry? No: a
+    classic diamond plus a self-loop block."""
+    mod = Module("cfg", persistency_model="strict")
+    fn = mod.define_function("f", ty.VOID, [("n", ty.I64)], source_file="c.c")
+    b = IRBuilder(fn)
+    then = b.new_block("then")
+    els = b.new_block("els")
+    join = b.new_block("join")
+    loop = b.new_block("loop")
+    exit_ = b.new_block("exit")
+    c = b.icmp("slt", fn.arg("n"), 10)
+    b.br(c, then, els)
+    b.position_at(then)
+    b.jmp(join)
+    b.position_at(els)
+    b.jmp(join)
+    b.position_at(join)
+    b.jmp(loop)
+    b.position_at(loop)
+    c2 = b.icmp("slt", fn.arg("n"), 20)
+    b.br(c2, loop, exit_)
+    b.position_at(exit_)
+    b.ret()
+    return mod, fn
+
+
+class TestCFG:
+    def test_successors_predecessors(self):
+        _mod, fn = diamond_module()
+        cfg = CFG(fn)
+        assert set(cfg.succs["entry"]) == {"then", "els"}
+        assert set(cfg.preds["join"]) == {"then", "els"}
+        assert "loop" in cfg.succs["loop"]
+
+    def test_reverse_post_order_starts_at_entry(self):
+        _mod, fn = diamond_module()
+        rpo = CFG(fn).reverse_post_order()
+        assert rpo[0] == "entry"
+        assert rpo.index("join") > rpo.index("then")
+        assert rpo.index("exit") > rpo.index("loop")
+
+    def test_back_edges_and_loop_headers(self):
+        _mod, fn = diamond_module()
+        cfg = CFG(fn)
+        assert ("loop", "loop") in cfg.back_edges()
+        assert cfg.loop_headers() == {"loop"}
+
+    def test_dominators(self):
+        _mod, fn = diamond_module()
+        dom = CFG(fn).dominators()
+        assert "entry" in dom["exit"]
+        assert "join" in dom["loop"]
+        assert "then" not in dom["join"]  # join reachable via els too
+
+    def test_declaration_rejected(self):
+        mod = Module("d", persistency_model="strict")
+        decl = mod.define_function("ext", ty.VOID, [])
+        with pytest.raises(AnalysisError):
+            CFG(decl)
+
+
+def call_module():
+    mod = Module("cg", persistency_model="strict")
+
+    def define(name, calls=()):
+        fn = mod.define_function(name, ty.VOID, [], source_file="g.c")
+        return fn, calls
+
+    specs = {
+        "main": ["a", "b"],
+        "a": ["c"],
+        "b": ["c", "b"],  # self-recursive
+        "c": [],
+        "orphan": [],
+        "m1": ["m2"],
+        "m2": ["m1"],  # mutual recursion, unreachable from main
+    }
+    fns = {name: mod.define_function(name, ty.VOID, [], source_file="g.c")
+           for name in specs}
+    for name, callees in specs.items():
+        b = IRBuilder(fns[name])
+        for target in callees:
+            b.call(target)
+        b.ret()
+    return mod
+
+
+class TestCallGraph:
+    def test_edges(self):
+        cg = CallGraph(call_module())
+        assert cg.callees["main"] == {"a", "b"}
+        assert cg.callers["c"] == {"a", "b"}
+
+    def test_post_order_callees_first(self):
+        cg = CallGraph(call_module())
+        order = cg.post_order()
+        assert order.index("c") < order.index("a")
+        assert order.index("a") < order.index("main")
+
+    def test_sccs(self):
+        cg = CallGraph(call_module())
+        comps = {frozenset(c) for c in cg.sccs()}
+        assert frozenset({"m1", "m2"}) in comps
+        assert frozenset({"b"}) in comps
+
+    def test_recursion_detection(self):
+        cg = CallGraph(call_module())
+        assert cg.is_recursive("b")
+        assert cg.is_recursive("m1")
+        assert not cg.is_recursive("a")
+
+    def test_roots(self):
+        cg = CallGraph(call_module())
+        assert set(cg.roots()) == {"main", "orphan"}
+
+    def test_builtin_calls_not_edges(self):
+        mod = Module("b", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="x.c")
+        b = IRBuilder(fn)
+        b.call("print", [b.const(1)], ret_type=ty.VOID)
+        b.ret()
+        cg = CallGraph(mod)
+        assert cg.callees["main"] == set()

@@ -1,0 +1,228 @@
+"""Tests for trace collection (§4.3): events, merging, bounds, priority."""
+
+import pytest
+
+from repro.analysis import TraceCollector
+from repro.analysis.traces import (
+    EV_ALLOC,
+    EV_FENCE,
+    EV_FLUSH,
+    EV_TRUNCATED,
+    EV_TXADD,
+    EV_TXBEGIN,
+    EV_WRITE,
+)
+from repro.corpus.util import counted_loop
+from repro.frameworks import PMDK
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty
+
+
+def kinds(trace):
+    return [e.kind for e in trace.events]
+
+
+class TestEventExtraction:
+    def test_persistent_ops_only(self, node_module):
+        mod, _node = node_module
+        traces = TraceCollector(mod).traces_for("main")
+        assert len(traces) == 1
+        ks = kinds(traces[0])
+        assert ks == [EV_ALLOC, EV_WRITE, EV_FLUSH, EV_FENCE, "load"]
+
+    def test_volatile_ops_excluded(self):
+        mod = Module("v", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="v.c")
+        b = IRBuilder(fn)
+        p = b.malloc(ty.I64)  # volatile
+        b.store(1, p)
+        b.flush(p, 8)
+        b.fence()
+        b.ret()
+        traces = TraceCollector(mod).traces_for("main")
+        assert kinds(traces[0]) == [EV_FENCE]
+
+    def test_memset_is_write_event(self):
+        mod = Module("m", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, 4)
+        b.memset(p, 0, 32, line=5)
+        b.ret()
+        traces = TraceCollector(mod).traces_for("main")
+        writes = [e for e in traces[0].events if e.kind == EV_WRITE]
+        assert len(writes) == 1
+        assert writes[0].size == 32
+
+    def test_region_markers_and_txadd(self):
+        mod = Module("r", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.txbegin(REGION_TX)
+        b.txadd(p, 8)
+        b.store(1, p)
+        b.txend(REGION_TX)
+        b.ret()
+        trace = TraceCollector(mod).traces_for("main")[0]
+        ks = kinds(trace)
+        assert EV_TXBEGIN in ks and EV_TXADD in ks
+
+
+class TestAnnotationExpansion:
+    def test_annotated_call_expands_to_effects(self):
+        mod = Module("a", persistency_model="strict")
+        pmdk = PMDK(mod)
+        st = mod.define_struct("s", [("x", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="a.c")
+        b = IRBuilder(fn)
+        p = b.palloc(st)
+        xf = b.getfield(p, "x")
+        b.store(1, xf, line=5)
+        pmdk.persist(b, xf, 8, line=6)
+        b.ret()
+        trace = TraceCollector(mod).traces_for("main")[0]
+        flushes = [e for e in trace.events if e.kind == EV_FLUSH]
+        fences = [e for e in trace.events if e.kind == EV_FENCE]
+        assert len(flushes) == 1 and flushes[0].via == "pmemobj_persist"
+        assert flushes[0].size == 8
+        assert len(fences) == 1
+        # annotated call events carry the call-site location
+        assert flushes[0].loc.line == 6
+
+    def test_annotated_body_not_inlined(self):
+        """The persist function's body would add a second flush if inlined."""
+        mod = Module("a", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="a.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        pmdk.persist(b, p, 8)
+        b.ret()
+        trace = TraceCollector(mod).traces_for("main")[0]
+        assert sum(1 for e in trace.events if e.kind == EV_FLUSH) == 1
+
+
+class TestInterproceduralMerging:
+    def test_callee_events_translated_to_caller_nodes(self):
+        mod = Module("m", persistency_model="strict")
+        st = mod.define_struct("s", [("a", ty.I64)])
+        callee = mod.define_function("w", ty.VOID,
+                                     [("p", ty.pointer_to(st))],
+                                     source_file="m.c")
+        cb = IRBuilder(callee)
+        fa = cb.getfield(callee.arg("p"), "a")
+        cb.store(9, fa, line=20)
+        cb.ret()
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        obj = b.palloc(st, line=1)
+        b.call(callee, [obj], line=2)
+        b.flush(obj, 8, line=3)
+        b.fence(line=4)
+        b.ret()
+        collector = TraceCollector(mod)
+        trace = collector.traces_for("main")[0]
+        write = next(e for e in trace.events if e.kind == EV_WRITE)
+        flush = next(e for e in trace.events if e.kind == EV_FLUSH)
+        # the callee's write now names the caller's node
+        assert write.cell.node.find() is flush.cell.node.find()
+        assert write.loc.line == 20  # original location preserved
+
+    def test_recursion_bounded(self):
+        mod = Module("rec", persistency_model="strict")
+        fn = mod.define_function("r", ty.VOID, [("n", ty.I64)],
+                                 source_file="r.c")
+        b = IRBuilder(fn)
+        stop = b.new_block("stop")
+        go = b.new_block("go")
+        p = b.palloc(ty.I64, name="cell")
+        b.store(1, p, line=3)
+        b.flush(p, 8, line=4)
+        b.fence(line=5)
+        c = b.icmp("sle", fn.arg("n"), 0)
+        b.br(c, stop, go)
+        b.position_at(stop)
+        b.ret()
+        b.position_at(go)
+        n1 = b.sub(fn.arg("n"), 1)
+        b.call(fn, [n1])
+        b.ret()
+        collector = TraceCollector(mod, recursion_limit=3)
+        traces = collector.traces_for("r")
+        # the root activation plus at most `recursion_limit` recursive levels
+        max_writes = max(
+            sum(1 for e in t.events if e.kind == EV_WRITE) for t in traces
+        )
+        assert max_writes <= 4
+
+
+class TestPathBounds:
+    def test_loop_truncation_marker(self):
+        mod = Module("lp", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [("n", ty.I64)],
+                                 source_file="l.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+
+        def body(b, iv):
+            b.store(iv, p, line=7)
+            b.flush(p, 8, line=8)
+            b.fence(line=9)
+
+        counted_loop(b, fn.arg("n"), body)
+        b.ret()
+        collector = TraceCollector(mod, loop_limit=3)
+        traces = collector.traces_for("main")
+        truncated = [t for t in traces if any(e.kind == EV_TRUNCATED
+                                              for e in t.events)]
+        complete = [t for t in traces if not any(e.kind == EV_TRUNCATED
+                                                 for e in t.events)]
+        assert truncated and complete
+
+    def test_persistent_priority_ordering(self):
+        """Paths with more persistent ops are kept first."""
+        mod = Module("pr", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [("c", ty.I64)],
+                                 source_file="p.c")
+        b = IRBuilder(fn)
+        heavy = b.new_block("heavy")
+        light = b.new_block("light")
+        done = b.new_block("done")
+        p = b.palloc(ty.I64)
+        cond = b.icmp("ne", fn.arg("c"), 0)
+        b.br(cond, heavy, light)
+        b.position_at(heavy)
+        for _ in range(3):
+            b.store(1, p)
+            b.flush(p, 8)
+            b.fence()
+        b.jmp(done)
+        b.position_at(light)
+        b.jmp(done)
+        b.position_at(done)
+        b.ret()
+        traces = TraceCollector(mod).traces_for("main")
+        assert traces[0].persistent_ops() >= traces[-1].persistent_ops()
+
+    def test_max_paths_cap(self):
+        mod = Module("mp", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [("c", ty.I64)],
+                                 source_file="m.c")
+        b = IRBuilder(fn)
+        # 6 sequential diamonds -> 64 paths
+        prev_join = None
+        for i in range(6):
+            t = b.new_block(f"t{i}")
+            e = b.new_block(f"e{i}")
+            j = b.new_block(f"j{i}")
+            c = b.icmp("ne", fn.arg("c"), i)
+            b.br(c, t, e)
+            b.position_at(t)
+            b.jmp(j)
+            b.position_at(e)
+            b.jmp(j)
+            b.position_at(j)
+        b.ret()
+        collector = TraceCollector(mod, max_paths=10)
+        assert len(collector.traces_for("main")) <= 10

@@ -1,0 +1,99 @@
+"""Tests for the Table 6 applications and their workload mixes."""
+
+import pytest
+
+from repro import check_module
+from repro.apps import ALL_MIXES, APP_BUILDERS, Mix, mix
+from repro.apps.workloads import MEMCACHED_MIXES, REDIS_MIXES, YCSB_MIXES
+from repro.dynamic import DynamicChecker
+from repro.errors import ReproError
+from repro.ir import verify_module
+from repro.vm import Interpreter
+
+
+class TestMixes:
+    def test_weights_sum_validated(self):
+        with pytest.raises(ReproError):
+            mix("bad", read=60, update=60)
+
+    def test_paper_mix_sets(self):
+        assert len(MEMCACHED_MIXES) == 5
+        assert len(REDIS_MIXES) == 5
+        assert len(YCSB_MIXES) == 5
+        names = [m.name for m in YCSB_MIXES]
+        assert names == ["YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D", "YCSB-E"]
+
+    def test_write_fraction(self):
+        assert mix("r", read=100).write_fraction == 0.0
+        assert mix("w", update=50, read=50).write_fraction == 0.5
+
+
+@pytest.mark.parametrize("app", sorted(APP_BUILDERS))
+class TestAppModules:
+    def test_builds_and_verifies(self, app):
+        module = APP_BUILDERS[app](ALL_MIXES[app][0])
+        verify_module(module)
+
+    def test_statically_clean(self, app):
+        for m in ALL_MIXES[app]:
+            report = check_module(APP_BUILDERS[app](m))
+            assert len(report) == 0, report.render()
+
+    def test_executes_deterministically(self, app):
+        m = ALL_MIXES[app][0]
+        r1 = Interpreter(APP_BUILDERS[app](m)).run("main", [200])
+        r2 = Interpreter(APP_BUILDERS[app](m)).run("main", [200])
+        assert r1.value == 0
+        assert r1.steps == r2.steps
+        assert r1.stats.snapshot() == r2.stats.snapshot()
+
+    def test_write_mix_drives_persistent_traffic(self, app):
+        mixes = ALL_MIXES[app]
+        read_only = next(m for m in mixes if m.write_fraction == 0.0)
+        writey = max(mixes, key=lambda m: m.write_fraction)
+        r_read = Interpreter(APP_BUILDERS[app](read_only)).run("main", [300])
+        r_write = Interpreter(APP_BUILDERS[app](writey)).run("main", [300])
+        assert r_write.stats.persistent_stores > r_read.stats.persistent_stores
+
+    def test_dynamic_checker_reports_no_races(self, app):
+        m = ALL_MIXES[app][0]
+        checker = DynamicChecker(APP_BUILDERS[app](m))
+        report, runs = checker.run("main", [150])
+        assert len(report) == 0  # single-threaded apps cannot race
+
+
+class TestAppSemantics:
+    def test_memcached_set_get_round_trip(self):
+        from repro.apps.memcached import build_memcached
+
+        module = build_memcached(mix("custom", update=50, read=50))
+        result = Interpreter(module).run("main", [400])
+        assert not result.crashed
+        # updates went through transactions: one commit fence per set
+        assert result.stats.fences > 0
+        assert result.stats.tx_begins.get("tx", 0) > 0
+
+    def test_redis_list_ops_balanced(self):
+        from repro.apps.redis import build_redis
+
+        module = build_redis(mix("lists", lpush=50, lpop=50))
+        result = Interpreter(module).run("main", [300])
+        assert not result.crashed
+
+    def test_nstore_strict_discipline(self):
+        from repro.apps.nstore import build_nstore
+
+        module = build_nstore(mix("ycsb-a", update=50, read=50))
+        result = Interpreter(module).run("main", [300])
+        # strict persistency: every update flushes and fences individually
+        assert result.stats.fences == result.stats.flushes
+        assert result.stats.fences_empty == 0
+
+    def test_nstore_scan_reads_many(self):
+        from repro.apps.nstore import build_nstore
+
+        scan_mod = build_nstore(mix("scan", scan=100))
+        read_mod = build_nstore(mix("read", read=100))
+        r_scan = Interpreter(scan_mod).run("main", [100])
+        r_read = Interpreter(read_mod).run("main", [100])
+        assert r_scan.stats.persistent_loads > r_read.stats.persistent_loads

@@ -1,0 +1,52 @@
+"""Multi-client (memslap-style) concurrency for the Memcached app."""
+
+import pytest
+
+from repro import check_module
+from repro.apps.memcached import build_memcached
+from repro.apps.workloads import MEMCACHED_MIXES
+from repro.dynamic import DynamicChecker
+from repro.ir import verify_module
+from repro.vm import Interpreter
+
+
+MIX = MEMCACHED_MIXES[0]  # 50% update / 50% read
+
+
+class TestMultiClient:
+    @pytest.mark.parametrize("clients", [1, 2, 4])
+    def test_builds_and_runs(self, clients):
+        mod = build_memcached(MIX, clients=clients)
+        verify_module(mod)
+        result = Interpreter(mod).run("main", [400])
+        assert not result.crashed
+        assert result.stats.persistent_stores > 0
+
+    def test_four_clients_use_four_threads(self):
+        mod = build_memcached(MIX, clients=4)
+        result = Interpreter(mod).run("main", [400])
+        assert len(result.interpreter.threads) == 5  # main + 4 clients
+
+    def test_statically_clean(self):
+        assert len(check_module(build_memcached(MIX, clients=4))) == 0
+
+    def test_sharded_clients_race_free(self):
+        checker = DynamicChecker(build_memcached(MIX, clients=4))
+        report, _ = checker.run("main", [400], seeds=(1, 2, 3))
+        assert len(report) == 0
+
+    def test_work_is_split_across_clients(self):
+        one = Interpreter(build_memcached(MIX, clients=1)).run("main", [400])
+        four = Interpreter(build_memcached(MIX, clients=4)).run("main", [400])
+        # same total op budget: persistent traffic within ~25% of each other
+        a, b = one.stats.persistent_stores, four.stats.persistent_stores
+        assert abs(a - b) <= max(a, b) * 0.25
+
+    def test_deterministic_under_seeded_scheduler(self):
+        from repro.vm import SeededScheduler
+
+        r1 = Interpreter(build_memcached(MIX, clients=4),
+                         scheduler=SeededScheduler(3)).run("main", [300])
+        r2 = Interpreter(build_memcached(MIX, clients=4),
+                         scheduler=SeededScheduler(3)).run("main", [300])
+        assert r1.stats.snapshot() == r2.stats.snapshot()

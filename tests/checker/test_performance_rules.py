@@ -1,0 +1,275 @@
+"""Per-rule tests for the Table 5 performance-bug rules."""
+
+import pytest
+
+from repro import check_module
+from repro.frameworks import PMDK
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty
+
+
+def keys(report):
+    return {(w.rule_id, w.loc.line) for w in report.warnings()}
+
+
+def perf_keys(report):
+    return {k for k in keys(report) if k[0].startswith("perf.")}
+
+
+class TestFlushUnmodified:
+    def test_flush_never_written_object(self):
+        mod = Module("fu", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="f.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.flush(p, 8, line=2)
+        b.fence(line=3)
+        b.ret(line=4)
+        assert ("perf.flush-unmodified", 2) in keys(check_module(mod))
+
+    def test_flush_unmodified_fields(self):
+        """The Figure 5 pi_task shape: one field written, all flushed."""
+        mod = Module("fu", persistency_model="strict")
+        big = mod.define_struct(
+            "big", [("a", ty.I64), ("pad", ty.ArrayType(ty.I64, 7))]
+        )
+        fn = mod.define_function("main", ty.VOID, [], source_file="f.c")
+        b = IRBuilder(fn)
+        p = b.palloc(big, line=1)
+        fa = b.getfield(p, "a")
+        b.store(1, fa, line=2)
+        b.flush(p, 64, line=3)
+        b.fence(line=4)
+        b.ret(line=5)
+        assert ("perf.flush-unmodified", 3) in keys(check_module(mod))
+
+    def test_exact_flush_clean(self, node_module):
+        mod, _ = node_module
+        assert len(check_module(mod)) == 0
+
+    def test_small_padding_tolerated(self):
+        """Flushing a couple of padding bytes is not worth a warning."""
+        mod = Module("fu", persistency_model="strict")
+        rec = mod.define_struct("r", [("a", ty.I32), ("b", ty.I32)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="f.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec, line=1)
+        fa = b.getfield(p, "a")
+        b.store(1, fa, line=2)
+        b.flush(p, 8, line=3)  # 4 unwritten bytes: below threshold
+        b.fence(line=4)
+        b.ret(line=5)
+        assert len(check_module(mod)) == 0
+
+    def test_full_rewrite_clean(self):
+        mod = Module("fu", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="f.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, 8, line=1)
+        b.memset(p, 0, 64, line=2)
+        b.flush(p, 64, line=3)
+        b.fence(line=4)
+        b.ret(line=5)
+        assert len(check_module(mod)) == 0
+
+
+class TestRedundantFlush:
+    def test_double_flush_of_modified_data(self):
+        mod = Module("rf", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.store(1, p, line=2)
+        b.flush(p, 8, line=3)
+        b.flush(p, 8, line=5)  # no write in between
+        b.fence(line=6)
+        b.ret(line=7)
+        assert ("perf.redundant-flush", 5) in keys(check_module(mod))
+
+    def test_intervening_write_resets(self):
+        mod = Module("rf", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.store(1, p, line=2)
+        b.flush(p, 8, line=3)
+        b.fence(line=4)
+        b.store(2, p, line=5)
+        b.flush(p, 8, line=6)
+        b.fence(line=7)
+        b.ret(line=8)
+        assert len(check_module(mod)) == 0
+
+    def test_redundancy_survives_fence(self):
+        """Re-flushing already-durable data is still redundant."""
+        mod = Module("rf", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.store(1, p, line=2)
+        b.flush(p, 8, line=3)
+        b.fence(line=4)
+        b.flush(p, 8, line=5)
+        b.fence(line=6)
+        b.ret(line=7)
+        assert ("perf.redundant-flush", 5) in keys(check_module(mod))
+
+    def test_disjoint_flushes_clean(self):
+        mod = Module("rf", persistency_model="strict")
+        rec = mod.define_struct("r", [("a", ty.I64), ("b", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="r.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec, line=1)
+        b.memset(p, 0, 16, line=2)
+        b.flush(b.getfield(p, "a"), 8, line=3)
+        b.flush(b.getfield(p, "b"), 8, line=4)
+        b.fence(line=5)
+        b.ret(line=6)
+        assert len(check_module(mod)) == 0
+
+    def test_fresh_allocation_resets_state(self):
+        """Same alloc site across loop iterations is a new object."""
+        from repro.corpus.util import counted_loop
+
+        mod = Module("rf", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [("n", ty.I64)],
+                                 source_file="r.c")
+        b = IRBuilder(fn)
+
+        def body(b, _iv):
+            p = b.palloc(ty.I64, line=2)
+            b.store(1, p, line=3)
+            b.flush(p, 8, line=4)
+            b.fence(line=5)
+
+        counted_loop(b, fn.arg("n"), body)
+        b.ret(line=9)
+        assert len(check_module(mod)) == 0
+
+
+class TestMultiPersistInTx:
+    def test_relogging_same_object(self):
+        mod = Module("mp", persistency_model="strict")
+        pmdk = PMDK(mod)
+        rec = mod.define_struct("r", [("a", ty.I64), ("b", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec, line=1)
+        pmdk.tx_begin(b, line=2)
+        pmdk.tx_add(b, p, 16, line=3)
+        pmdk.tx_add(b, p, 16, line=4)  # re-log
+        b.store(1, b.getfield(p, "a"), line=5)
+        pmdk.tx_end(b, line=6)
+        b.ret(line=7)
+        assert ("perf.multi-persist-tx", 4) in keys(check_module(mod))
+
+    def test_disjoint_field_logs_clean(self):
+        mod = Module("mp", persistency_model="strict")
+        pmdk = PMDK(mod)
+        rec = mod.define_struct("r", [("a", ty.I64), ("b", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec, line=1)
+        pmdk.tx_begin(b, line=2)
+        fa, fb = b.getfield(p, "a"), b.getfield(p, "b")
+        pmdk.tx_add(b, fa, 8, line=3)
+        pmdk.tx_add(b, fb, 8, line=4)
+        b.store(1, fa, line=5)
+        b.store(2, fb, line=6)
+        pmdk.tx_end(b, line=7)
+        b.ret(line=8)
+        assert len(check_module(mod)) == 0
+
+    def test_one_warning_per_object_per_tx(self):
+        mod = Module("mp", persistency_model="strict")
+        pmdk = PMDK(mod)
+        rec = mod.define_struct("r", [("a", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec, line=1)
+        pmdk.tx_begin(b, line=2)
+        for line in (3, 4, 5):
+            pmdk.tx_add(b, p, 8, line=line)
+        b.store(1, b.getfield(p, "a"), line=6)
+        pmdk.tx_end(b, line=7)
+        b.ret(line=8)
+        hits = [k for k in keys(check_module(mod))
+                if k[0] == "perf.multi-persist-tx"]
+        assert len(hits) == 1
+
+    def test_outside_tx_not_flagged(self):
+        mod = Module("mp", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.store(1, p, line=2)
+        b.flush(p, 8, line=3)
+        b.fence(line=4)
+        b.ret(line=5)
+        report = check_module(mod)
+        assert not any(w.rule_id == "perf.multi-persist-tx"
+                       for w in report.warnings())
+
+
+class TestEmptyDurableTx:
+    def test_read_only_tx_flagged(self):
+        mod = Module("et", persistency_model="strict")
+        fn = mod.define_function("main", ty.I64, [], source_file="e.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.txbegin(REGION_TX, line=2)
+        v = b.load(p, line=3)
+        b.txend(REGION_TX, line=4)
+        b.ret(v, line=5)
+        assert ("perf.empty-durable-tx", 2) in keys(check_module(mod))
+
+    def test_tx_with_write_clean(self):
+        mod = Module("et", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="e.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        pmdk.tx_begin(b, line=2)
+        pmdk.tx_add(b, p, 8, line=3)
+        b.store(1, p, line=4)
+        pmdk.tx_end(b, line=5)
+        b.ret(line=6)
+        assert len(check_module(mod)) == 0
+
+    def test_conditional_write_flagged_on_empty_path(self):
+        """Figure 7's shape: the no-update path pays tx overhead."""
+        from repro.corpus.util import if_then
+
+        mod = Module("et", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [("c", ty.I64)],
+                                 source_file="e.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        pmdk.tx_begin(b, line=2)
+        cond = b.icmp("ne", fn.arg("c"), 0, line=3)
+
+        def then(b):
+            pmdk.tx_add(b, p, 8, line=4)
+            b.store(1, p, line=4)
+
+        if_then(b, cond, then, line=3)
+        pmdk.tx_end(b, line=6)
+        b.ret(line=7)
+        assert ("perf.empty-durable-tx", 2) in keys(check_module(mod))
+
+    def test_nested_write_counts_for_outer(self):
+        mod = Module("et", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="e.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        pmdk.tx_begin(b, line=2)
+        pmdk.tx_begin(b, line=3)
+        pmdk.tx_add(b, p, 8, line=4)
+        b.store(1, p, line=4)
+        pmdk.tx_end(b, line=5)
+        pmdk.tx_end(b, line=6)
+        b.ret(line=7)
+        report = check_module(mod)
+        assert not any(w.rule_id == "perf.empty-durable-tx"
+                       for w in report.warnings())

@@ -1,0 +1,115 @@
+"""Tests for the §5.4 suppression database and the fix suggestions."""
+
+import pytest
+
+from repro import check_module
+from repro.checker import (
+    Report,
+    Suppression,
+    SuppressionDB,
+    Warning_,
+    learn_from_corpus,
+    suggest_fix,
+    suggest_fixes,
+)
+from repro.corpus import REGISTRY, check_program
+from repro.errors import CheckerError
+from repro.ir import SourceLoc
+from repro.models import ALL_RULES
+
+
+def mkw(rule="strict.unflushed-write", file="a.c", line=5):
+    return Warning_(rule, SourceLoc(file, line), "f", "msg")
+
+
+class TestSuppressionDB:
+    def test_add_and_query(self):
+        db = SuppressionDB()
+        assert db.add(Suppression("strict.unflushed-write", "a.c", 5, "fp"))
+        assert not db.add(Suppression("strict.unflushed-write", "a.c", 5, "dup"))
+        assert db.suppresses(mkw()) is not None
+        assert db.suppresses(mkw(line=6)) is None
+        assert len(db) == 1
+
+    def test_filter_report(self):
+        db = SuppressionDB([Suppression("strict.unflushed-write", "a.c", 5, "")])
+        report = Report("m", "strict")
+        report.add(mkw(line=5))
+        report.add(mkw(line=9))
+        kept, suppressed = db.filter(report)
+        assert len(kept) == 1
+        assert len(suppressed) == 1
+        assert suppressed[0].loc.line == 5
+
+    def test_learn_from_warning(self):
+        db = SuppressionDB()
+        db.learn_from_warning(mkw(), reason="aliased flush")
+        assert db.suppresses(mkw()) is not None
+        assert db.entries()[0].reason == "aliased flush"
+
+    def test_remove(self):
+        db = SuppressionDB([Suppression("r", "a.c", 5, "")])
+        assert db.remove("r", "a.c", 5)
+        assert not db.remove("r", "a.c", 5)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = SuppressionDB([
+            Suppression("strict.unflushed-write", "a.c", 5, "why", "user"),
+            Suppression("perf.redundant-flush", "b.c", 9, "", "corpus"),
+        ])
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = SuppressionDB.load(path)
+        assert loaded.entries() == db.entries()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(CheckerError):
+            SuppressionDB.load(path)
+        path.write_text('{"version": 99, "suppressions": []}')
+        with pytest.raises(CheckerError):
+            SuppressionDB.load(path)
+
+    def test_learn_from_corpus_covers_all_fps(self):
+        db = learn_from_corpus()
+        assert len(db) == 7
+        # applying the learned database to the corpus removes exactly the
+        # false positives — the detection becomes precise
+        for prog in REGISTRY.programs():
+            report = check_program(prog)
+            kept, suppressed = db.filter(report)
+            kept_keys = {(w.rule_id, w.loc.file, w.loc.line)
+                         for w in kept.warnings()}
+            real_keys = {(b.rule_id, b.file, b.line)
+                         for b in prog.real_bugs()}
+            assert kept_keys == real_keys
+            assert len(suppressed) == len(prog.false_positives())
+
+
+class TestFixSuggestions:
+    def test_every_rule_has_a_suggestion(self):
+        for rule in ALL_RULES:
+            s = suggest_fix(mkw(rule=rule.rule_id))
+            assert s.action != "review"
+            assert str(s.warning.loc) in s.description
+
+    def test_unknown_rule_falls_back(self):
+        s = suggest_fix(mkw(rule="custom.rule"))
+        assert s.action == "review"
+
+    def test_suggestions_for_corpus_program(self):
+        prog = REGISTRY.program("nvmdirect_locks")
+        report = check_program(prog)
+        suggestions = suggest_fixes(report)
+        assert len(suggestions) == len(report)
+        by_action = {s.action for s in suggestions}
+        assert "insert-flush" in by_action     # the 932 missing flush
+        assert "remove-tx" in by_action        # the 905 empty tx
+        assert "narrow-flush" in by_action     # the 1411 whole-record flush
+
+    def test_render(self):
+        s = suggest_fix(mkw())
+        text = s.render()
+        assert text.startswith("FIX [insert-flush]")
+        assert "a.c:5" in text

@@ -1,0 +1,103 @@
+"""CLI tests: every subcommand drives the library end to end."""
+
+import pytest
+
+from repro.cli import main
+from repro.ir import print_module
+from tests.conftest import build_two_field_module
+
+BUGGY_TEXT = """\
+module "cli_demo" model strict
+
+define void @main() !file "demo.c" {
+entry:
+  %p = palloc i64
+  store i64 1, %p  !loc "demo.c":3
+  ret void  !loc "demo.c":4
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.nvmir"
+    path.write_text(BUGGY_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.nvmir"
+    path.write_text(print_module(build_two_field_module(flush_both=True)))
+    return str(path)
+
+
+class TestCheck:
+    def test_buggy_exits_nonzero_and_reports(self, buggy_file, capsys):
+        assert main(["check", buggy_file]) == 1
+        out = capsys.readouterr().out
+        assert "demo.c:3" in out
+        assert "Unflushed" in out
+
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        assert "0 warning" in capsys.readouterr().out
+
+    def test_model_override(self, buggy_file, capsys):
+        assert main(["check", buggy_file, "--model", "epoch"]) == 1
+        assert "epoch" in capsys.readouterr().out
+
+    def test_dynamic_flag(self, clean_file):
+        assert main(["check", clean_file, "--dynamic"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.nvmir"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.nvmir"
+        bad.write_text("not a module")
+        assert main(["check", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_prints_stats(self, clean_file, capsys):
+        assert main(["run", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "returned:" in out
+        assert "fences:" in out
+
+
+class TestCorpusCommand:
+    def test_full_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "43" in out and "50" in out and "14%" in out
+
+    def test_framework_filter(self, capsys):
+        assert main(["corpus", "--framework", "pmfs"]) == 0
+        out = capsys.readouterr().out
+        assert "9/11" in out
+
+
+class TestTableCommands:
+    @pytest.mark.parametrize("which,needle", [
+        ("2", "Total"),
+        ("4", "Strict"),
+        ("5", "Writing back unmodified data"),
+        ("6", "Memcached"),
+        ("7", "Python"),
+    ])
+    def test_cheap_tables(self, which, needle, capsys):
+        assert main(["table", which]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "23/26" in capsys.readouterr().out
+
+
+class TestSpeedupCommand:
+    def test_speedup(self, capsys):
+        assert main(["speedup", "--repeat", "4"]) == 0
+        assert "Improvement" in capsys.readouterr().out

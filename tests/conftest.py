@@ -1,0 +1,56 @@
+"""Shared fixtures: small canonical modules used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import IRBuilder, Module, types as ty
+
+
+@pytest.fixture
+def empty_module() -> Module:
+    return Module("test", persistency_model="strict")
+
+
+@pytest.fixture
+def node_module():
+    """A module with one struct and a main that writes/flushes a field.
+
+    Returns ``(module, struct_type)``; main persists ``value`` correctly
+    and leaves ``flag`` volatile — handy as a known-clean baseline.
+    """
+    mod = Module("node_mod", persistency_model="strict")
+    node = mod.define_struct("node", [("value", ty.I64), ("flag", ty.I32)])
+    fn = mod.define_function("main", ty.I64, [], source_file="node.c")
+    b = IRBuilder(fn)
+    b.at(10)
+    p = b.palloc(node)
+    vf = b.getfield(p, "value")
+    b.store(41, vf, line=11)
+    b.flush(vf, 8, line=12)
+    b.fence(line=13)
+    v = b.load(vf, line=14)
+    r = b.add(v, 1, line=14)
+    b.ret(r, line=15)
+    return mod, node
+
+
+def build_two_field_module(flush_both: bool = True) -> Module:
+    """Module writing two fields; optionally leaves the second unflushed."""
+    mod = Module("two_field", persistency_model="strict")
+    rec = mod.define_struct("rec", [("a", ty.I64), ("b", ty.I64)])
+    fn = mod.define_function("main", ty.VOID, [], source_file="rec.c")
+    b = IRBuilder(fn)
+    b.at(5)
+    p = b.palloc(rec)
+    fa = b.getfield(p, "a")
+    b.store(1, fa, line=6)
+    b.flush(fa, 8, line=7)
+    b.fence(line=8)
+    fb = b.getfield(p, "b")
+    b.store(2, fb, line=9)
+    if flush_both:
+        b.flush(fb, 8, line=10)
+        b.fence(line=11)
+    b.ret(line=12)
+    return mod

@@ -1,0 +1,117 @@
+"""The corpus contract: DeepMC reports exactly the paper's warning sites.
+
+These tests are the backbone of the reproduction — every Table 1 cell,
+the 19 studied / 24 new split, and the 14% false-positive rate all follow
+from the assertions here.
+"""
+
+import pytest
+
+import repro.corpus as corpus
+from repro.corpus import REGISTRY, verify_ground_truth
+from repro.corpus.registry import (
+    ALL_CLASSES,
+    FRAMEWORK_MODEL,
+    fix_flags,
+)
+from repro.vm import Interpreter
+
+PROGRAMS = REGISTRY.programs()
+
+
+class TestRegistryShape:
+    def test_aggregate_counts_match_paper(self):
+        bugs = REGISTRY.bugs()
+        assert len(bugs) == 50                       # warnings
+        assert len(REGISTRY.bugs(real=True)) == 43   # validated
+        assert len(REGISTRY.bugs(real=False)) == 7   # false positives
+        assert len(REGISTRY.bugs(studied=True, real=True)) == 19
+        assert len(REGISTRY.bugs(studied=False, real=True)) == 24
+
+    def test_studied_split_matches_table2(self):
+        studied = REGISTRY.bugs(studied=True, real=True)
+        v = sum(1 for b in studied if b.category == "violation")
+        p = sum(1 for b in studied if b.category == "performance")
+        assert (v, p) == (9, 10)
+
+    def test_per_framework_totals_match_table1(self):
+        expected = {"pmdk": (23, 26), "nvm_direct": (7, 9),
+                    "pmfs": (9, 11), "mnemosyne": (4, 4)}
+        for fw, (validated, warnings) in expected.items():
+            assert len(REGISTRY.bugs(framework=fw, real=True)) == validated
+            assert len(REGISTRY.bugs(framework=fw)) == warnings
+
+    def test_all_classes_covered(self):
+        classes = {b.bug_class for b in REGISTRY.bugs()}
+        assert classes == set(ALL_CLASSES)
+
+    def test_bug_ids_unique(self):
+        ids = [b.bug_id for b in REGISTRY.bugs()]
+        assert len(ids) == len(set(ids))
+
+    def test_models_match_frameworks(self):
+        for prog in PROGRAMS:
+            assert prog.model == FRAMEWORK_MODEL[prog.framework]
+            mod = prog.build()
+            assert mod.persistency_model == prog.model
+
+
+class TestFixFlags:
+    def test_modes(self):
+        assert fix_flags(False) == (False, False)
+        assert fix_flags(True) == (True, True)
+        assert fix_flags("perf") == (True, False)
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+class TestGroundTruth:
+    def test_buggy_variant_exact(self, program):
+        missing, extra = verify_ground_truth(program)
+        assert not missing, f"checker missed: {sorted(missing)}"
+        assert not extra, f"checker over-reported: {sorted(extra)}"
+
+    def test_fixed_variant_clean(self, program):
+        report = corpus.check_program(program, fixed=True)
+        fp = {(b.rule_id, b.file, b.line) for b in program.false_positives()}
+        got = {(w.rule_id, w.loc.file, w.loc.line) for w in report.warnings()}
+        assert got <= fp, f"fixed variant still warns: {sorted(got - fp)}"
+
+    def test_perf_fixed_variant_keeps_violations(self, program):
+        report = corpus.check_program(program, fixed="perf")
+        allowed = {(b.rule_id, b.file, b.line) for b in program.bugs
+                   if not b.real or b.category == "violation"}
+        got = {(w.rule_id, w.loc.file, w.loc.line) for w in report.warnings()}
+        assert got <= allowed
+        # and no *performance* bug survives
+        perf_keys = {(b.rule_id, b.file, b.line) for b in program.real_bugs()
+                     if b.category == "performance"}
+        assert not (got & perf_keys)
+
+    def test_executes_on_vm(self, program):
+        for fixed in (False, True):
+            result = Interpreter(program.build(fixed=fixed)).run(program.entry)
+            assert not result.crashed
+
+
+class TestDynamicObservation:
+    """The perf bugs marked ``dynamic`` are observable in runtime counters."""
+
+    def test_redundant_flush_counters(self):
+        prog = REGISTRY.program("mnemosyne_chash")
+        buggy = Interpreter(prog.build(repeat=4)).run()
+        fixed = Interpreter(prog.build(fixed="perf", repeat=4)).run()
+        assert buggy.stats.flushes > fixed.stats.flushes
+        assert buggy.stats.flushes_duplicate > fixed.stats.flushes_duplicate
+
+    def test_unmodified_flush_counters(self):
+        prog = REGISTRY.program("pmfs_super")
+        buggy = Interpreter(prog.build(repeat=4)).run()
+        fixed = Interpreter(prog.build(fixed="perf", repeat=4)).run()
+        assert buggy.stats.flushes_clean > fixed.stats.flushes_clean
+
+    def test_empty_tx_counters(self):
+        prog = REGISTRY.program("pmdk_pminvaders")
+        buggy = Interpreter(prog.build(repeat=2)).run()
+        fixed = Interpreter(prog.build(fixed="perf", repeat=2)).run()
+        assert buggy.stats.tx_begins.get("tx", 0) > \
+            fixed.stats.tx_begins.get("tx", 0)

@@ -1,0 +1,159 @@
+"""Tests for the four mini NVM frameworks."""
+
+import pytest
+
+from repro import check_module
+from repro.frameworks import FRAMEWORKS, Mnemosyne, NVMDirect, PMDK, PMFS
+from repro.ir import IRBuilder, Module, types as ty, verify_module
+from repro.vm import Interpreter
+
+
+class TestInstallation:
+    @pytest.mark.parametrize("name,cls", sorted(FRAMEWORKS.items()))
+    def test_install_registers_annotations(self, name, cls):
+        mod = Module("f", persistency_model=cls.model)
+        lib = cls(mod)
+        assert len(mod.annotations) >= 2
+        for fname in mod.annotations.functions():
+            assert mod.has_function(fname)  # every annotation has a body
+        verify_module(mod)
+
+    def test_pmdk_annotation_shapes(self):
+        mod = Module("f", persistency_model="strict")
+        pmdk = PMDK(mod)
+        ann = mod.annotations.lookup("pmemobj_persist")
+        assert ann.has_effect("flush") and ann.has_effect("fence")
+        ann = mod.annotations.lookup("pmemobj_flush")
+        assert ann.has_effect("flush") and not ann.has_effect("fence")
+
+
+class TestPMDKSemantics:
+    def test_persist_makes_data_durable(self):
+        mod = Module("p", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(5, p)
+        pmdk.persist(b, p, 8)
+        b.ret()
+        res = Interpreter(mod).run()
+        assert res.domain.durable_snapshot()[
+            next(iter(res.memory.persistent_allocations()))
+        ][:8] == (5).to_bytes(8, "little")
+
+    def test_memset_persist(self):
+        mod = Module("p", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, 4)
+        pmdk.memset_persist(b, p, 0xAB, 32)
+        b.ret()
+        res = Interpreter(mod).run()
+        image = list(res.domain.durable_snapshot().values())[0]
+        assert image == b"\xab" * 32
+
+    def test_tx_machinery_round_trip(self):
+        mod = Module("p", persistency_model="strict")
+        pmdk = PMDK(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        pmdk.tx_begin(b)
+        pmdk.tx_add(b, p, 8)
+        b.store(7, p)
+        pmdk.tx_end(b)
+        b.ret()
+        res = Interpreter(mod).run()
+        assert res.stats.fences == 1  # commit fence
+        assert check_module(mod).warnings() == []
+
+
+class TestPMFSSemantics:
+    def test_commit_has_barrier_buggy_variant_does_not(self):
+        for commit, fences in (("commit_transaction", 1),
+                               ("commit_transaction_no_barrier", 0)):
+            mod = Module("p", persistency_model="epoch")
+            pmfs = PMFS(mod)
+            fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+            b = IRBuilder(fn)
+            p = b.palloc(ty.I64)
+            pmfs.new_transaction(b)
+            b.store(1, p)
+            pmfs.flush_buffer(b, p, 8)
+            getattr(pmfs, commit)(b)
+            b.ret()
+            res = Interpreter(mod).run()
+            assert res.stats.fences == fences
+
+    def test_flush_buffer_fence_flag(self):
+        mod = Module("p", persistency_model="epoch")
+        pmfs = PMFS(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        pmfs.flush_buffer(b, p, 8, fence=True)
+        b.ret()
+        res = Interpreter(mod).run()
+        assert res.stats.fences == 1
+
+
+class TestNVMDirectSemantics:
+    def test_persist1_whole_object(self):
+        mod = Module("n", persistency_model="strict")
+        nvmd = NVMDirect(mod)
+        rec = mod.define_struct("r", [("a", ty.I64), ("b", ty.I64)])
+        fn = mod.define_function("main", ty.VOID, [], source_file="n.c")
+        b = IRBuilder(fn)
+        p = b.palloc(rec)
+        b.store(1, b.getfield(p, "a"))
+        b.store(2, b.getfield(p, "b"))
+        nvmd.persist1(b, p)
+        b.ret()
+        res = Interpreter(mod).run()
+        image = list(res.domain.durable_snapshot().values())[0]
+        assert image[:8] == (1).to_bytes(8, "little")
+        assert image[8:16] == (2).to_bytes(8, "little")
+
+    def test_flush_without_barrier_leaves_pending(self):
+        mod = Module("n", persistency_model="strict")
+        nvmd = NVMDirect(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="n.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        nvmd.flush(b, p, 8)
+        b.ret()
+        res = Interpreter(mod).run()
+        assert res.domain.pending_lines()
+
+
+class TestMnemosyneSemantics:
+    def test_tm_store_logs_then_writes(self):
+        mod = Module("m", persistency_model="epoch")
+        mtm = Mnemosyne(mod)
+        fn = mod.define_function("main", ty.I64, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        mtm.atomic_begin(b)
+        mtm.tm_store(b, p, 11)
+        mtm.atomic_end(b)
+        v = b.load(p)
+        b.ret(v)
+        res = Interpreter(mod).run()
+        assert res.value == 11
+        assert res.stats.lines_written_back >= 1  # commit flushed the log
+
+    def test_atomic_block_is_clean_under_checker(self):
+        mod = Module("m", persistency_model="epoch")
+        mtm = Mnemosyne(mod)
+        fn = mod.define_function("main", ty.VOID, [], source_file="m.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        mtm.atomic_begin(b)
+        mtm.tm_store(b, p, 1)
+        mtm.atomic_end(b)
+        b.ret()
+        assert len(check_module(mod)) == 0

@@ -1,0 +1,249 @@
+"""Tests for the NVM-C front end: lexer, parser, lowering, end-to-end."""
+
+import pytest
+
+from repro import check_module
+from repro.errors import ParseError
+from repro.frontend import compile_c, parse_c, tokenize
+from repro.vm import Interpreter
+
+
+class TestLexer:
+    def test_token_stream(self):
+        toks = tokenize("int x = 42; // comment\nx->y")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert ("keyword", "int") in kinds
+        assert ("number", "42") in kinds
+        assert ("op", "->") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_line_tracking(self):
+        toks = tokenize("a\nb\n  c")
+        by_text = {t.text: (t.line, t.col) for t in toks if t.text}
+        assert by_text["a"] == (1, 1)
+        assert by_text["b"] == (2, 1)
+        assert by_text["c"] == (3, 3)
+
+    def test_block_comment_lines(self):
+        toks = tokenize("/* one\ntwo */ x")
+        x = next(t for t in toks if t.text == "x")
+        assert x.line == 2
+
+    def test_hex_numbers(self):
+        toks = tokenize("0xFF")
+        assert toks[0].kind == "number"
+
+    def test_illegal_character(self):
+        with pytest.raises(ParseError):
+            tokenize("int @x;")
+
+    def test_pragma_token(self):
+        toks = tokenize("#pragma persistency(epoch)\nint x;")
+        assert toks[0].kind == "pragma"
+
+
+class TestParser:
+    def test_pragma_sets_model(self):
+        prog = parse_c("#pragma persistency(epoch)\nvoid f(void) { }")
+        assert prog.model == "epoch"
+
+    def test_default_model_strict(self):
+        prog = parse_c("void f(void) { }")
+        assert prog.model == "strict"
+
+    def test_struct_with_arrays(self):
+        prog = parse_c("struct s { long a; long buf[8]; struct s* next; };")
+        sd = prog.structs[0]
+        assert sd.fields[1][2] == 8
+        assert sd.fields[2][1].pointers == 1
+
+    def test_else_if_chain(self):
+        prog = parse_c("""
+void f(int x) {
+    if (x == 1) { return; }
+    else if (x == 2) { return; }
+    else { return; }
+}
+""")
+        fn = prog.functions[0]
+        assert fn.body[0].else_body  # the chained if
+
+    def test_precedence(self):
+        prog = parse_c("int f(void) { return 1 + 2 * 3 == 7; }")
+        ret = prog.functions[0].body[0]
+        assert ret.value.op == "=="
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_c("void f( { }")
+        with pytest.raises(ParseError):
+            parse_c("void f(void) { 1 = 2; }")
+        with pytest.raises(ParseError):
+            parse_c("void f(void) { return }")
+
+
+class TestLowering:
+    def test_arith_and_control_flow(self):
+        mod = compile_c("""
+long fib(long n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+long main(void) { return fib(10); }
+""", "fib.c")
+        assert Interpreter(mod).run().value == 55
+
+    def test_while_loop_and_arrays(self):
+        mod = compile_c("""
+long main(void) {
+    long* a = pmalloc(long, 8);
+    long i = 0;
+    while (i < 8) {
+        a[i] = i * i;
+        i = i + 1;
+    }
+    pmem_persist(a, 64);
+    return a[7];
+}
+""", "loop.c")
+        res = Interpreter(mod).run()
+        assert res.value == 49
+        assert res.stats.fences == 1
+
+    def test_struct_member_access(self):
+        mod = compile_c("""
+struct pair { long a; long b; };
+long main(void) {
+    struct pair* p = pmalloc(struct pair);
+    p->a = 3;
+    p->b = p->a * 2;
+    pmem_persist(p, sizeof(struct pair));
+    return p->b;
+}
+""", "pair.c")
+        assert Interpreter(mod).run().value == 6
+
+    def test_logical_operators(self):
+        mod = compile_c("""
+long main(void) {
+    long x = 5;
+    if (x > 1 && x < 10) { return 1; }
+    return 0;
+}
+""", "logic.c")
+        assert Interpreter(mod).run().value == 1
+
+    def test_pointer_cast_launders(self):
+        """(long)p / (struct s*)x round-trip — the C-level FP mechanism."""
+        mod = compile_c("""
+struct s { long v; };
+long main(void) {
+    struct s* p = pmalloc(struct s);
+    p->v = 9;
+    long raw = (long) p;
+    struct s* q = (struct s*) raw;
+    pmem_persist(q, 8);
+    return q->v;
+}
+""", "cast.c")
+        report = check_module(mod)
+        # conservative analysis cannot connect the laundered flush
+        assert any(w.rule_id == "strict.unflushed-write"
+                   for w in report.warnings())
+        assert Interpreter(mod).run().value == 9
+
+    def test_undeclared_things_rejected(self):
+        with pytest.raises(ParseError):
+            compile_c("void f(void) { x = 1; }")
+        with pytest.raises(ParseError):
+            compile_c("void f(void) { g(); }")
+        with pytest.raises(ParseError):
+            compile_c("void f(struct ghost* p) { }")
+
+
+class TestEndToEnd:
+    def test_figure2_in_c(self):
+        """The btree unlogged-write bug, written in C, found at its line."""
+        src = """#pragma persistency(strict)
+struct node { long n; long pad[7]; long items[4]; };
+void split(struct node* node) {
+    tx_add(node, 8);
+    node->n = 2;
+    node->items[3] = 7;
+}
+void insert(struct node* node) {
+    tx_begin();
+    split(node);
+    tx_end();
+}
+long main(void) {
+    struct node* n = pmalloc(struct node);
+    insert(n);
+    return n->n;
+}
+"""
+        mod = compile_c(src, "fig2.c")
+        report = check_module(mod)
+        assert report.has("strict.unflushed-write", "fig2.c", 6)
+        assert Interpreter(mod).run().value == 2
+
+    def test_epoch_program_in_c(self):
+        src = """#pragma persistency(epoch)
+struct log { long head; long slots[8]; };
+void append(struct log* lg, long v) {
+    epoch_begin();
+    lg->slots[0] = v;
+    pmem_flush(lg, 72);
+    epoch_end();
+}
+long main(void) {
+    struct log* lg = pmalloc(struct log);
+    append(lg, 4);
+    pmem_fence();
+    append(lg, 5);
+    pmem_fence();
+    return lg->slots[0];
+}
+"""
+        mod = compile_c(src, "epoch.c")
+        assert mod.persistency_model == "epoch"
+        report = check_module(mod)
+        assert not any("barrier" in w.rule_id for w in report.warnings())
+        assert Interpreter(mod).run().value == 5
+
+    def test_threads_in_c(self):
+        src = """
+struct cell { long v; };
+void worker(struct cell* c) {
+    strand_begin();
+    c->v = c->v + 1;
+    pmem_flush(c, 8);
+    strand_end();
+    pmem_fence();
+}
+long main(void) {
+    struct cell* c = pmalloc(struct cell);
+    long t1 = spawn(worker, c);
+    join(t1);
+    long t2 = spawn(worker, c);
+    join(t2);
+    return c->v;
+}
+"""
+        mod = compile_c(src, "threads.c")
+        assert Interpreter(mod).run().value == 2
+
+    def test_cli_accepts_c_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "prog.c"
+        path.write_text("""
+long main(void) {
+    long* p = pmalloc(long);
+    p[0] = 1;
+    return p[0];
+}
+""")
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "prog.c" in out and "Unflushed" in out

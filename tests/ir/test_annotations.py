@@ -1,0 +1,68 @@
+"""Tests for the persist-annotation registry."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.annotations import (
+    EFFECT_FENCE,
+    EFFECT_FLUSH,
+    EFFECT_TX_BEGIN,
+    EFFECT_WRITE,
+    AnnotationRegistry,
+    Effect,
+    PersistAnnotation,
+)
+
+
+class TestEffect:
+    def test_valid_flush(self):
+        e = Effect(EFFECT_FLUSH, ptr_arg=0, size_arg=1)
+        assert e.kind == EFFECT_FLUSH
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IRError):
+            Effect("teleport")
+
+    def test_pointer_effects_require_ptr_arg(self):
+        with pytest.raises(IRError):
+            Effect(EFFECT_WRITE)
+
+    def test_region_effects_require_kind(self):
+        with pytest.raises(IRError):
+            Effect(EFFECT_TX_BEGIN)
+        Effect(EFFECT_TX_BEGIN, region_kind="tx")  # ok
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = AnnotationRegistry()
+        ann = reg.annotate("persist", [Effect(EFFECT_FLUSH, 0, 1),
+                                       Effect(EFFECT_FENCE)], framework="pmdk")
+        assert reg.lookup("persist") is ann
+        assert reg.is_annotated("persist")
+        assert ann.has_effect(EFFECT_FENCE)
+        assert not ann.has_effect(EFFECT_WRITE)
+
+    def test_duplicate_rejected(self):
+        reg = AnnotationRegistry()
+        reg.annotate("f", [Effect(EFFECT_FENCE)])
+        with pytest.raises(IRError):
+            reg.annotate("f", [Effect(EFFECT_FENCE)])
+
+    def test_lookup_missing_returns_none(self):
+        assert AnnotationRegistry().lookup("nope") is None
+
+    def test_merge_from(self):
+        a = AnnotationRegistry()
+        a.annotate("f", [Effect(EFFECT_FENCE)])
+        b = AnnotationRegistry()
+        b.annotate("g", [Effect(EFFECT_FENCE)])
+        a.merge_from(b)
+        assert a.is_annotated("g")
+        assert len(a) == 2
+
+    def test_functions_sorted(self):
+        reg = AnnotationRegistry()
+        reg.annotate("zeta", [Effect(EFFECT_FENCE)])
+        reg.annotate("alpha", [Effect(EFFECT_FENCE)])
+        assert reg.functions() == ["alpha", "zeta"]

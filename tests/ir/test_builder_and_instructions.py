@@ -1,0 +1,178 @@
+"""Tests for the IR builder and instruction classes."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    IRBuilder,
+    Module,
+    REGION_EPOCH,
+    REGION_TX,
+    verify_module,
+)
+from repro.ir import instructions as ins
+from repro.ir import types as ty
+
+
+@pytest.fixture
+def mod():
+    return Module("m", persistency_model="strict")
+
+
+def make_fn(mod, name="f", ret=ty.VOID, params=()):
+    return mod.define_function(name, ret, params, source_file="f.c")
+
+
+class TestBuilderBasics:
+    def test_entry_block_created(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        assert fn.blocks[0].label == "entry"
+        b.ret()
+        verify_module(mod)
+
+    def test_temporaries_unique(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p1 = b.alloca(ty.I64)
+        p2 = b.alloca(ty.I64)
+        assert p1.name != p2.name
+
+    def test_source_locations(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        b.at(42)
+        p = b.alloca(ty.I64)
+        assert p.loc.line == 42
+        assert p.loc.file == "f.c"
+        q = b.alloca(ty.I64, line=99)
+        assert q.loc.line == 99
+
+    def test_store_int_coercion_to_field_width(self, mod):
+        st = mod.define_struct("s", [("a", ty.I32)])
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p = b.palloc(st)
+        f = b.getfield(p, "a")
+        store = b.store(7, f)
+        assert store.value.type == ty.I32
+
+    def test_getfield_by_name_and_index(self, mod):
+        st = mod.define_struct("s", [("a", ty.I64), ("b", ty.I64)])
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p = b.palloc(st)
+        assert b.getfield(p, "b").index == 1
+        assert b.getfield(p, 0).index == 0
+
+    def test_getfield_requires_struct_pointer(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p = b.alloca(ty.I64)
+        with pytest.raises(IRError):
+            b.getfield(p, 0)
+
+    def test_load_requires_typed_pointer(self, mod):
+        fn = make_fn(mod, params=[("p", ty.PTR)])
+        b = IRBuilder(fn)
+        with pytest.raises(IRError):
+            b.load(fn.arg("p"))
+
+    def test_flush_obj_uses_static_size(self, mod):
+        st = mod.define_struct("s", [("a", ty.I64), ("b", ty.I64)])
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p = b.palloc(st)
+        fl = b.flush_obj(p)
+        assert fl.size.value == 16
+
+    def test_persist_emits_flush_then_fence(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.persist(p, 8)
+        ops = [i.opcode for i in fn.entry.instructions]
+        assert ops[-2:] == ["flush", "fence"]
+
+    def test_call_resolves_ret_type_from_module(self, mod):
+        callee = make_fn(mod, "callee", ret=ty.I64)
+        cb = IRBuilder(callee)
+        cb.ret(7)
+        fn = make_fn(mod, "caller")
+        b = IRBuilder(fn)
+        r = b.call("callee")
+        assert r.type == ty.I64
+
+    def test_control_flow_blocks(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        then = b.new_block("then")
+        done = b.new_block("done")
+        c = b.icmp("eq", 1, 1)
+        b.br(c, then, done)
+        b.position_at(then)
+        b.jmp(done)
+        b.position_at(done)
+        b.ret()
+        verify_module(mod)
+
+
+class TestInstructionClasses:
+    def test_binop_type_mismatch_rejected(self):
+        from repro.ir.values import const_int
+
+        with pytest.raises(IRError):
+            ins.BinOp("add", const_int(1, 32), const_int(1, 64))
+
+    def test_unknown_binop_rejected(self):
+        from repro.ir.values import const_int
+
+        with pytest.raises(IRError):
+            ins.BinOp("pow", const_int(1), const_int(1))
+
+    def test_unknown_icmp_rejected(self):
+        from repro.ir.values import const_int
+
+        with pytest.raises(IRError):
+            ins.ICmp("lt", const_int(1), const_int(1))
+
+    def test_region_kind_validated(self):
+        with pytest.raises(IRError):
+            ins.TxBegin("bogus")
+        with pytest.raises(IRError):
+            ins.TxEnd("bogus")
+
+    def test_terminators(self):
+        assert ins.Ret().is_terminator()
+        assert ins.Jmp("x").is_terminator()
+        assert not ins.Fence().is_terminator()
+
+    def test_successor_labels(self):
+        from repro.ir.values import const_bool
+
+        br = ins.Br(const_bool(True), "a", "b")
+        assert br.successors_labels() == ["a", "b"]
+        assert ins.Jmp("c").successors_labels() == ["c"]
+        assert ins.Ret().successors_labels() == []
+
+
+class TestRegions:
+    def test_balanced_regions_verify(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        b.txbegin(REGION_TX)
+        b.txbegin(REGION_EPOCH)
+        b.txend(REGION_EPOCH)
+        b.txend(REGION_TX)
+        b.ret()
+        verify_module(mod)
+
+    def test_unbalanced_regions_rejected(self, mod):
+        from repro.errors import VerifierError
+
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        b.txbegin(REGION_TX)
+        b.ret()
+        with pytest.raises(VerifierError):
+            verify_module(mod)

@@ -1,0 +1,181 @@
+"""Parser/printer tests, including the round-trip invariant."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (
+    IRBuilder,
+    Module,
+    REGION_EPOCH,
+    REGION_STRAND,
+    REGION_TX,
+    parse_module,
+    print_module,
+    types as ty,
+    verify_module,
+)
+
+FULL_FEATURED = """\
+module "demo" model epoch
+
+struct %node { i64 value, i32 flag, %node* next }
+struct %blob { [8 x i64] words }
+
+define i64 @helper(%node* %n, i64 %x) !file "helper.c" {
+entry:
+  %f = getfield %n, 0
+  store i64 %x, %f  !loc "helper.c":3
+  flush %f, 8
+  fence
+  %v = load i64, %f
+  ret i64 %v
+}
+
+define void @main() !file "main.c" {
+entry:
+  %p = palloc %node, 2
+  %b = palloc %blob
+  %e = getelem %p, 1
+  %r = call i64 @helper(%e, 42)
+  %c = icmp slt i64 %r, 100
+  br %c, label %small, label %big
+small:
+  txbegin epoch "update"
+  %w = getfield %b, 0
+  %s = getelem %w, %r
+  store i64 7, %s
+  txadd %b, 64
+  txend epoch
+  jmp label %done
+big:
+  memset %b, 0, 64
+  memcpy %b, %p, 16
+  jmp label %done
+done:
+  %t = spawn @worker(%p)
+  join %t
+  free %b
+  ret void
+}
+
+define void @worker(%node* %n) {
+entry:
+  %g = getfield %n, 1
+  store i32 1, %g
+  ret void
+}
+"""
+
+
+class TestParsing:
+    def test_full_featured_module_parses_and_verifies(self):
+        mod = parse_module(FULL_FEATURED)
+        verify_module(mod)
+        assert mod.persistency_model == "epoch"
+        assert mod.has_function("helper")
+        assert mod.struct("node").size() == 24
+
+    def test_round_trip_fixed_point(self):
+        mod = parse_module(FULL_FEATURED)
+        text1 = print_module(mod)
+        text2 = print_module(parse_module(text1))
+        assert text1 == text2
+
+    def test_builder_output_round_trips(self, node_module):
+        mod, _node = node_module
+        text = print_module(mod)
+        assert print_module(parse_module(text)) == text
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            'module "c" model strict\n\n'
+            "; a comment\n"
+            "define void @f() {\n"
+            "entry:  ; trailing comment\n"
+            "  ret void ; another\n"
+            "}\n"
+        )
+        mod = parse_module(text)
+        assert mod.has_function("f")
+
+
+class TestParseErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(ParseError):
+            parse_module("define void @f() {\nentry:\n  ret void\n}\n")
+
+    def test_bad_model(self):
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            parse_module('module "x" model sloppy\n')
+
+    def test_undefined_value(self):
+        text = (
+            'module "x" model strict\n'
+            "define void @f() {\n"
+            "entry:\n"
+            "  %v = load i64, %ghost\n"
+            "  ret void\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError) as exc:
+            parse_module(text)
+        assert "ghost" in str(exc.value)
+
+    def test_unknown_opcode(self):
+        text = (
+            'module "x" model strict\n'
+            "define void @f() {\n"
+            "entry:\n"
+            "  frobnicate\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_unterminated_function(self):
+        text = 'module "x" model strict\ndefine void @f() {\nentry:\n  ret void\n'
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_instruction_before_label(self):
+        text = 'module "x" model strict\ndefine void @f() {\n  ret void\n}\n'
+        with pytest.raises(ParseError):
+            parse_module(text)
+
+    def test_error_carries_line_number(self):
+        text = 'module "x" model strict\ndefine void @f() {\nentry:\n  bogus\n}\n'
+        with pytest.raises(ParseError) as exc:
+            parse_module(text)
+        assert exc.value.line == 4
+
+
+class TestPrinterDetails:
+    def test_loc_metadata_printed(self):
+        mod = Module("m", persistency_model="strict")
+        fn = mod.define_function("f", ty.VOID, [], source_file="x.c")
+        b = IRBuilder(fn)
+        b.fence(line=7)
+        b.ret()
+        text = print_module(mod)
+        assert '!loc "x.c":7' in text
+
+    def test_declaration_printed(self):
+        mod = Module("m", persistency_model="strict")
+        mod.define_function("ext", ty.I64, [("p", ty.PTR)])
+        text = print_module(mod)
+        assert "declare i64 @ext(ptr %p)" in text
+
+    def test_region_labels_round_trip(self):
+        mod = Module("m", persistency_model="strict")
+        fn = mod.define_function("f", ty.VOID, [], source_file="x.c")
+        b = IRBuilder(fn)
+        b.txbegin(REGION_STRAND, label="phase one")
+        b.txend(REGION_STRAND)
+        b.ret()
+        text = print_module(mod)
+        mod2 = parse_module(text)
+        tb = mod2.function("f").entry.instructions[0]
+        assert tb.kind == REGION_STRAND
+        assert tb.label == "phase one"

@@ -1,0 +1,144 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as ty
+
+
+class TestIntTypes:
+    def test_valid_widths(self):
+        for bits in (1, 8, 16, 32, 64):
+            t = ty.int_type(bits)
+            assert t.bits == bits
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRError):
+            ty.IntType(7)
+
+    def test_sizes(self):
+        assert ty.I1.size() == 1
+        assert ty.I8.size() == 1
+        assert ty.I16.size() == 2
+        assert ty.I32.size() == 4
+        assert ty.I64.size() == 8
+
+    def test_interning(self):
+        assert ty.int_type(64) is ty.I64
+
+    def test_str(self):
+        assert str(ty.I32) == "i32"
+
+    def test_equality_by_rendering(self):
+        assert ty.IntType(32) == ty.I32
+        assert ty.IntType(32) != ty.I64
+
+    def test_hashable(self):
+        assert len({ty.I32, ty.IntType(32), ty.I64}) == 2
+
+
+class TestPointerType:
+    def test_opaque(self):
+        assert str(ty.PTR) == "ptr"
+        assert ty.PTR.pointee is None
+
+    def test_typed(self):
+        p = ty.pointer_to(ty.I64)
+        assert str(p) == "i64*"
+        assert p.size() == 8
+
+    def test_nested(self):
+        pp = ty.pointer_to(ty.pointer_to(ty.I8))
+        assert str(pp) == "i8**"
+
+    def test_is_pointer(self):
+        assert ty.PTR.is_pointer()
+        assert not ty.I64.is_pointer()
+
+
+class TestStructType:
+    def test_layout_natural_alignment(self):
+        st = ty.StructType("s", [("a", ty.I32), ("b", ty.I64), ("c", ty.I8)])
+        assert st.field_offset(0) == 0
+        assert st.field_offset(1) == 8  # aligned up from 4
+        assert st.field_offset(2) == 16
+        assert st.size() == 24  # padded to 8-byte alignment
+
+    def test_packed_small_fields(self):
+        st = ty.StructType("s2", [("a", ty.I32), ("b", ty.I32)])
+        assert st.field_offset(1) == 4
+        assert st.size() == 8
+
+    def test_field_lookup(self):
+        st = ty.StructType("s3", [("x", ty.I64), ("y", ty.I64)])
+        assert st.field_index("y") == 1
+        assert st.field_name(0) == "x"
+        assert st.field_type(1) == ty.I64
+        assert st.field_range(1) == (8, 16)
+
+    def test_unknown_field(self):
+        st = ty.StructType("s4", [("x", ty.I64)])
+        with pytest.raises(IRError):
+            st.field_index("zzz")
+        with pytest.raises(IRError):
+            st.field_offset(5)
+
+    def test_must_be_named(self):
+        with pytest.raises(IRError):
+            ty.StructType("", [("a", ty.I64)])
+
+    def test_definition_round_trips_textually(self):
+        st = ty.StructType("pair", [("k", ty.I64), ("v", ty.pointer_to(ty.I8))])
+        assert st.definition() == "struct %pair { i64 k, i8* v }"
+
+    def test_empty_struct(self):
+        st = ty.StructType("unit", [])
+        assert st.size() == 0
+
+
+class TestArrayType:
+    def test_size(self):
+        assert ty.ArrayType(ty.I64, 4).size() == 32
+        assert ty.ArrayType(ty.I8, 64).size() == 64
+
+    def test_str(self):
+        assert str(ty.ArrayType(ty.I32, 3)) == "[3 x i32]"
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(IRError):
+            ty.ArrayType(ty.I8, -1)
+
+    def test_array_of_struct(self):
+        st = ty.StructType("e", [("a", ty.I64), ("b", ty.I64)])
+        arr = ty.ArrayType(st, 10)
+        assert arr.size() == 160
+        assert arr.align() == 8
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = ty.FunctionType(ty.I64, [ty.PTR, ty.I32])
+        assert str(ft) == "i64(ptr, i32)"
+
+    def test_vararg(self):
+        ft = ty.FunctionType(ty.VOID, [ty.I64], vararg=True)
+        assert str(ft) == "void(i64, ...)"
+
+
+class TestTypeContext:
+    def test_define_and_lookup(self):
+        ctx = ty.TypeContext()
+        st = ctx.define_struct("n", [("v", ty.I64)])
+        assert ctx.struct("n") is st
+        assert ctx.has_struct("n")
+        assert not ctx.has_struct("m")
+
+    def test_duplicate_rejected(self):
+        ctx = ty.TypeContext()
+        ctx.define_struct("n", [])
+        with pytest.raises(IRError):
+            ctx.define_struct("n", [])
+
+    def test_unknown_rejected(self):
+        with pytest.raises(IRError):
+            ty.TypeContext().struct("ghost")

@@ -1,0 +1,72 @@
+"""Unit tests for IR values and constants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import types as ty
+from repro.ir.values import (
+    Argument,
+    Constant,
+    GlobalRef,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+    null_ptr,
+    undef,
+)
+
+
+class TestConstants:
+    def test_int_ref(self):
+        assert const_int(5).ref() == "5"
+        assert const_int(-3).ref() == "-3"
+
+    def test_wrapping_to_width(self):
+        assert const_int(256, 8).value == 0
+        assert const_int(255, 8).value == -1  # two's complement
+        assert const_int(127, 8).value == 127
+
+    def test_bool(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+        assert const_bool(True).type == ty.I1
+
+    def test_float(self):
+        c = const_float(2.5)
+        assert c.value == 2.5
+        assert c.type == ty.F64
+
+    def test_null(self):
+        n = null_ptr()
+        assert n.value is None
+        assert n.ref() == "null"
+
+    def test_undef(self):
+        u = undef(ty.I64)
+        assert u.ref() == "undef"
+
+    def test_equality_and_hash(self):
+        assert const_int(5) == const_int(5)
+        assert const_int(5) != const_int(6)
+        assert const_int(5, 32) != const_int(5, 64)
+        assert len({const_int(5), const_int(5)}) == 1
+
+
+class TestValues:
+    def test_unnamed_ref_rejected(self):
+        v = Value(ty.I64)
+        with pytest.raises(IRError):
+            v.ref()
+
+    def test_named_ref(self):
+        assert Value(ty.I64, "x").ref() == "%x"
+
+    def test_argument(self):
+        a = Argument(ty.PTR, "p", 0)
+        assert a.ref() == "%p"
+        assert a.index == 0
+
+    def test_global_ref(self):
+        g = GlobalRef(ty.PTR, "fn")
+        assert g.ref() == "@fn"

@@ -1,0 +1,66 @@
+"""Tests for the persistency-model specifications (Tables 4/5 as data)."""
+
+import pytest
+
+from repro.errors import CheckerError
+from repro.models import (
+    ALL_RULES,
+    CATEGORY_PERFORMANCE,
+    CATEGORY_VIOLATION,
+    EPOCH,
+    MODELS,
+    RULES_BY_ID,
+    STRAND,
+    STRICT,
+    get_model,
+)
+
+
+class TestModelRegistry:
+    def test_three_models(self):
+        assert set(MODELS) == {"strict", "epoch", "strand"}
+
+    def test_get_model_strips_flag_dash(self):
+        assert get_model("-strict") is STRICT
+        assert get_model("epoch") is EPOCH
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(CheckerError):
+            get_model("relaxed")
+
+
+class TestRuleSpecs:
+    def test_ids_unique(self):
+        assert len(RULES_BY_ID) == len(ALL_RULES)
+
+    def test_every_model_rule_resolvable(self):
+        for model in MODELS.values():
+            for rule in model.rules():
+                assert rule.rule_id in RULES_BY_ID
+
+    def test_categories(self):
+        for rule in ALL_RULES:
+            assert rule.category in (CATEGORY_VIOLATION, CATEGORY_PERFORMANCE)
+
+    def test_perf_rules_shared_by_strict_and_epoch(self):
+        """§3.3: performance rules are model-independent."""
+        perf = {r.rule_id for r in ALL_RULES
+                if r.category == CATEGORY_PERFORMANCE}
+        assert perf <= set(STRICT.rule_ids)
+        assert perf <= set(EPOCH.rule_ids)
+
+    def test_strict_has_no_epoch_barrier_rules(self):
+        assert "epoch.missing-barrier" not in STRICT.rule_ids
+        assert "epoch.nested-missing-barrier" not in STRICT.rule_ids
+
+    def test_strand_includes_dynamic_dependence_rule(self):
+        assert "strand.dependence" in STRAND.rule_ids
+        assert RULES_BY_ID["strand.dependence"].dynamic
+
+    def test_formal_texts_present(self):
+        for rule in ALL_RULES:
+            assert len(rule.formal) > 20
+
+    def test_violation_vs_performance_split(self):
+        assert len(STRICT.violation_rules()) == 4
+        assert len(STRICT.performance_rules()) == 4

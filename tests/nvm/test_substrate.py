@@ -1,0 +1,225 @@
+"""Unit tests for the NVM substrate: cachelines, cache, device, domain."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.nvm import (
+    CACHELINE,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    NVMDevice,
+    PersistDomain,
+    WriteBackCache,
+    line_index,
+    line_span,
+    lines_covering,
+)
+
+
+class TestCachelineGeometry:
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_lines_covering(self):
+        assert list(lines_covering(0, 64)) == [0]
+        assert list(lines_covering(60, 8)) == [0, 1]
+        assert list(lines_covering(128, 1)) == [2]
+        assert list(lines_covering(0, 0)) == []
+        assert list(lines_covering(0, 256)) == [0, 1, 2, 3]
+
+    def test_line_span(self):
+        assert line_span(0) == (0, 64)
+        assert line_span(2) == (128, 192)
+
+
+class TestWriteBackCache:
+    def test_dirty_tracking(self):
+        cache = WriteBackCache(capacity_lines=4)
+        cache.touch_dirty((1, 0))
+        assert cache.is_dirty((1, 0))
+        assert not cache.is_dirty((1, 1))
+        assert cache.clean((1, 0))
+        assert not cache.is_dirty((1, 0))
+        assert not cache.clean((1, 0))
+
+    def test_lru_eviction_order(self):
+        evicted = []
+        cache = WriteBackCache(capacity_lines=2)
+        cache.set_writeback(lambda line, ev: evicted.append(line))
+        cache.touch_dirty((1, 0))
+        cache.touch_dirty((1, 1))
+        cache.touch_dirty((1, 0))  # refresh 0: now 1 is the LRU victim
+        cache.touch_dirty((1, 2))
+        assert evicted == [(1, 1)]
+
+    def test_drop_allocation(self):
+        cache = WriteBackCache(capacity_lines=8)
+        cache.touch_dirty((1, 0))
+        cache.touch_dirty((2, 0))
+        cache.drop_allocation(1)
+        assert not cache.is_dirty((1, 0))
+        assert cache.is_dirty((2, 0))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            WriteBackCache(0)
+
+
+class TestNVMDevice:
+    def test_register_zero_filled(self):
+        dev = NVMDevice()
+        dev.register(1, 100)
+        assert dev.read(1, 0, 100) == bytes(100)
+
+    def test_write_back_line(self):
+        dev = NVMDevice()
+        dev.register(1, 128)
+        written = dev.write_back_line((1, 1), b"\xab" * 64)
+        assert written == 64
+        assert dev.read(1, 64, 64) == b"\xab" * 64
+        assert dev.read(1, 0, 64) == bytes(64)
+
+    def test_partial_trailing_line(self):
+        dev = NVMDevice()
+        dev.register(1, 80)  # second line only 16 bytes
+        written = dev.write_back_line((1, 1), b"\xcd" * 16)
+        assert written == 16
+
+    def test_double_register_rejected(self):
+        dev = NVMDevice()
+        dev.register(1, 8)
+        with pytest.raises(MemoryFault):
+            dev.register(1, 8)
+
+    def test_unregistered_access_rejected(self):
+        dev = NVMDevice()
+        with pytest.raises(MemoryFault):
+            dev.read(9, 0, 1)
+        with pytest.raises(MemoryFault):
+            dev.write_back_line((9, 0), b"x")
+
+    def test_out_of_range_read(self):
+        dev = NVMDevice()
+        dev.register(1, 8)
+        with pytest.raises(MemoryFault):
+            dev.read(1, 4, 8)
+
+
+class _FakeMemory:
+    """Byte source standing in for architectural memory."""
+
+    def __init__(self):
+        self.data = {}
+
+    def set(self, alloc_id, content):
+        self.data[alloc_id] = bytearray(content)
+
+    def read(self, alloc_id, start, end):
+        return bytes(self.data[alloc_id][start:end])
+
+
+@pytest.fixture
+def domain():
+    mem = _FakeMemory()
+    dom = PersistDomain(mem.read)
+    return mem, dom
+
+
+class TestPersistDomain:
+    def test_store_flush_fence_persists(self, domain):
+        mem, dom = domain
+        mem.set(1, b"\x11" * 64)
+        dom.on_palloc(1, 64)
+        dom.on_store(1, 0, 8)
+        assert dom.durable_snapshot()[1] == bytes(64)  # nothing durable yet
+        dom.flush(1, 0, 8)
+        assert dom.durable_snapshot()[1] == bytes(64)  # flush alone: pending
+        drained = dom.fence()
+        assert drained == 1
+        assert dom.durable_snapshot()[1] == b"\x11" * 64
+
+    def test_unflushed_store_not_durable(self, domain):
+        mem, dom = domain
+        mem.set(1, b"\x22" * 64)
+        dom.on_palloc(1, 64)
+        dom.on_store(1, 0, 8)
+        dom.fence()  # fence without flush drains nothing
+        assert dom.durable_snapshot()[1] == bytes(64)
+        assert dom.stats.fences_empty == 1
+
+    def test_flush_clean_line_counted(self, domain):
+        mem, dom = domain
+        mem.set(1, bytes(64))
+        dom.on_palloc(1, 64)
+        dom.flush(1, 0, 8)
+        assert dom.stats.flushes_clean == 1
+
+    def test_duplicate_flush_counted(self, domain):
+        mem, dom = domain
+        mem.set(1, bytes(64))
+        dom.on_palloc(1, 64)
+        dom.on_store(1, 0, 8)
+        dom.flush(1, 0, 8)
+        dom.flush(1, 0, 8)
+        assert dom.stats.flushes_duplicate == 1
+
+    def test_eviction_writes_back_without_flush(self):
+        mem = _FakeMemory()
+        dom = PersistDomain(mem.read, cache_capacity_lines=2)
+        mem.set(1, b"\x33" * 256)
+        dom.on_palloc(1, 256)
+        for line in range(3):  # third store evicts line 0
+            dom.on_store(1, line * 64, 8)
+        assert dom.stats.lines_evicted == 1
+        assert dom.durable_snapshot()[1][:8] == b"\x33" * 8
+
+    def test_crash_state_pending_subsets(self, domain):
+        mem, dom = domain
+        mem.set(1, b"\x44" * 128)
+        dom.on_palloc(1, 128)
+        dom.on_store(1, 0, 8)
+        dom.flush(1, 0, 8)
+        # pending but unfenced: both crash states are legal
+        base = dom.crash_state()
+        applied = dom.crash_state(dom.pending_lines())
+        assert base[1][:8] == bytes(8)
+        assert applied[1][:8] == b"\x44" * 8
+
+    def test_crash_state_rejects_non_pending(self, domain):
+        mem, dom = domain
+        mem.set(1, bytes(64))
+        dom.on_palloc(1, 64)
+        with pytest.raises(ValueError):
+            dom.crash_state([(1, 0)])
+
+    def test_pfree_clears_state(self, domain):
+        mem, dom = domain
+        mem.set(1, bytes(64))
+        dom.on_palloc(1, 64)
+        dom.on_store(1, 0, 8)
+        dom.flush(1, 0, 8)
+        dom.on_pfree(1)
+        assert dom.pending_lines() == []
+        assert not dom.is_persistent(1)
+
+    def test_per_line_flush_cost(self, domain):
+        mem, dom = domain
+        mem.set(1, bytes(256))
+        dom.on_palloc(1, 256)
+        before = dom.stats.cycles
+        dom.flush(1, 0, 256)  # 4 lines
+        assert dom.stats.cycles - before == 4 * dom.cost.flush_issue
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.fence > 0 and cm.nvm_line_writeback > cm.store
+
+    def test_scaled(self):
+        half = DEFAULT_COST_MODEL.scaled(0.5)
+        assert half.fence == DEFAULT_COST_MODEL.fence // 2
+        tiny = DEFAULT_COST_MODEL.scaled(0.0001)
+        assert tiny.instruction >= 1  # never drops to zero

@@ -1,0 +1,117 @@
+"""Hypothesis properties for the symbolic range algebra.
+
+The checker's soundness leans on this algebra: overlap/cover answers must
+agree with concrete interval semantics on every input the strategy can
+produce, and three-valued answers must be consistent under symmetry.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.ranges import MemRange, SymOffset, subtract, union_size
+
+terms = st.lists(
+    st.tuples(st.integers(1, 5), st.integers(-4, 4).filter(bool)),
+    max_size=2,
+)
+offsets = st.builds(
+    lambda ts, c: _mk_offset(ts, c),
+    terms,
+    st.integers(-64, 256),
+)
+
+
+def _mk_offset(ts, c):
+    o = SymOffset.of(c)
+    for tid, scale in ts:
+        o = o.add_term(tid, scale)
+    return o
+
+
+concrete_ranges = st.builds(
+    MemRange.concrete, st.integers(0, 256), st.integers(1, 64)
+)
+sym_ranges = st.builds(MemRange, offsets, st.integers(1, 64))
+
+
+class TestSymOffsetAlgebra:
+    @given(offsets, st.integers(-64, 64), st.integers(-64, 64))
+    def test_add_const_associative(self, o, a, b):
+        assert o.add_const(a).add_const(b) == o.add_const(a + b)
+
+    @given(offsets)
+    def test_self_delta_zero(self, o):
+        assert o.delta(o) == 0
+
+    @given(offsets, offsets)
+    def test_delta_antisymmetric(self, a, b):
+        d = a.delta(b)
+        if d is not None:
+            assert b.delta(a) == -d
+
+    @given(offsets, st.integers(1, 5), st.integers(-4, 4).filter(bool))
+    def test_term_cancellation(self, o, tid, scale):
+        assert o.add_term(tid, scale).add_term(tid, -scale) == o
+
+
+class TestOverlapSemantics:
+    @given(concrete_ranges, concrete_ranges)
+    def test_concrete_overlap_matches_interval_math(self, a, b):
+        expected = (a.offset.const < b.offset.const + b.size
+                    and b.offset.const < a.offset.const + a.size)
+        assert a.overlaps(b) is expected
+
+    @given(sym_ranges, sym_ranges)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(sym_ranges)
+    def test_self_overlap(self, a):
+        assert a.overlaps(a) is True
+        assert a.covers(a) is True
+
+    @given(concrete_ranges, concrete_ranges)
+    def test_covers_implies_overlap(self, a, b):
+        if a.covers(b) is True:
+            assert a.overlaps(b) is True
+
+    @given(concrete_ranges, concrete_ranges)
+    def test_covers_matches_interval_math(self, a, b):
+        expected = (b.offset.const >= a.offset.const
+                    and b.offset.const + b.size <= a.offset.const + a.size)
+        assert a.covers(b) is expected
+
+
+class TestSubtract:
+    @given(concrete_ranges, concrete_ranges)
+    def test_remnant_sizes(self, a, b):
+        pieces = subtract(a, b)
+        assert pieces is not None
+        total = sum(p.size for p in pieces)
+        inter_start = max(a.offset.const, b.offset.const)
+        inter_end = min(a.offset.const + a.size, b.offset.const + b.size)
+        inter = max(0, inter_end - inter_start)
+        assert total == a.size - inter
+
+    @given(concrete_ranges, concrete_ranges)
+    def test_remnants_inside_original_and_disjoint_from_b(self, a, b):
+        for p in subtract(a, b):
+            assert a.covers(p) is True
+            assert p.overlaps(b) is False
+
+    @given(concrete_ranges)
+    def test_subtract_self_empty(self, a):
+        assert subtract(a, a) == []
+
+
+class TestUnionSize:
+    @given(st.lists(concrete_ranges, max_size=6))
+    def test_union_bounded(self, ranges):
+        total = union_size(ranges)
+        assert total is not None
+        assert total <= sum(r.size for r in ranges)
+        if ranges:
+            assert total >= max(r.size for r in ranges)
+
+    @given(st.lists(concrete_ranges, max_size=6))
+    def test_union_permutation_invariant(self, ranges):
+        assert union_size(ranges) == union_size(list(reversed(ranges)))

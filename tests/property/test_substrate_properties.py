@@ -1,0 +1,139 @@
+"""Hypothesis properties for memory, vector clocks, and the persist domain."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dynamic.vectorclock import VectorClock
+from repro.nvm.domain import PersistDomain
+from repro.vm.memory import Memory, Pointer
+
+
+class TestPointerEncoding:
+    @given(st.integers(1, (1 << 24) - 1), st.integers(0, (1 << 40) - 1))
+    def test_roundtrip(self, alloc_id, offset):
+        p = Pointer(alloc_id, offset)
+        assert Pointer.decode(p.encode()) == p
+
+    @given(st.integers(1, (1 << 24) - 1), st.integers(0, (1 << 40) - 1))
+    def test_encoding_fits_8_bytes(self, alloc_id, offset):
+        assert 0 <= Pointer(alloc_id, offset).encode() < (1 << 64)
+
+
+class TestMemoryRoundTrips:
+    @given(st.binary(min_size=0, max_size=64), st.integers(0, 32))
+    def test_bytes_roundtrip(self, data, offset):
+        mem = Memory()
+        p = mem.alloc(offset + len(data) + 8)
+        mem.write_bytes(p.moved(offset), data)
+        assert mem.read_bytes(p.moved(offset), len(data)) == data
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_i64_roundtrip(self, value):
+        mem = Memory()
+        p = mem.alloc(8)
+        mem.write_int(p, value, 8)
+        assert mem.read_int(p, 8) == value
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1),
+           st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_adjacent_writes_independent(self, a, b):
+        mem = Memory()
+        p = mem.alloc(16)
+        mem.write_int(p, a, 8)
+        mem.write_int(p.moved(8), b, 8)
+        assert mem.read_int(p, 8) == a
+        assert mem.read_int(p.moved(8), 8) == b
+
+
+class TestVectorClockProperties:
+    clocks = st.dictionaries(st.integers(1, 4), st.integers(0, 20), max_size=4)
+
+    @given(clocks, clocks)
+    def test_merge_is_lub(self, a, b):
+        va, vb = VectorClock(a), VectorClock(b)
+        m = va.copy()
+        m.merge(vb)
+        assert va <= m and vb <= m
+        for t in set(a) | set(b):
+            assert m.get(t) == max(va.get(t), vb.get(t))
+
+    @given(clocks, clocks)
+    def test_merge_commutative(self, a, b):
+        m1 = VectorClock(a)
+        m1.merge(VectorClock(b))
+        m2 = VectorClock(b)
+        m2.merge(VectorClock(a))
+        for t in set(a) | set(b):
+            assert m1.get(t) == m2.get(t)
+
+    @given(clocks, st.integers(1, 4))
+    def test_tick_monotone(self, a, tid):
+        vc = VectorClock(a)
+        before = vc.get(tid)
+        vc.tick(tid)
+        assert vc.get(tid) == before + 1
+
+
+#: random sequences of persist-domain operations on one 4-line allocation.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.integers(0, 255), st.integers(1, 16)),
+        st.tuples(st.just("flush"), st.integers(0, 255), st.integers(1, 16)),
+        st.tuples(st.just("fence"), st.just(0), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class TestPersistDomainInvariants:
+    @settings(max_examples=60)
+    @given(_ops)
+    def test_pending_and_dirty_disjoint_invariants(self, ops):
+        """Invariants after any op sequence:
+        * pending lines are a subset of dirty lines;
+        * after a fence nothing is pending;
+        * the durable image only ever contains bytes that were written.
+        """
+        content = bytearray(256)
+        dom = PersistDomain(lambda aid, s, e: bytes(content[s:e]))
+        dom.on_palloc(1, 256)
+        writes = set()
+        for kind, off, size in ops:
+            off = min(off, 256 - size)
+            if kind == "store":
+                for i in range(size):
+                    content[off + i] = 0xAB
+                    writes.add(off + i)
+                dom.on_store(1, off, size)
+            elif kind == "flush":
+                dom.flush(1, off, size)
+            else:
+                dom.fence()
+                assert dom.pending_lines() == []
+            pending = set(dom.pending_lines())
+            dirty = set(dom.cache.dirty_lines())
+            assert pending <= dirty
+        image = dom.durable_snapshot()[1]
+        for i, byte in enumerate(image):
+            if byte != 0:
+                assert i in writes
+
+    @settings(max_examples=60)
+    @given(_ops)
+    def test_flush_fence_everything_makes_all_writes_durable(self, ops):
+        content = bytearray(256)
+        dom = PersistDomain(lambda aid, s, e: bytes(content[s:e]))
+        dom.on_palloc(1, 256)
+        for kind, off, size in ops:
+            off = min(off, 256 - size)
+            if kind == "store":
+                for i in range(size):
+                    content[off + i] = 0xCD
+                dom.on_store(1, off, size)
+            elif kind == "flush":
+                dom.flush(1, off, size)
+            else:
+                dom.fence()
+        dom.flush(1, 0, 256)
+        dom.fence()
+        assert dom.durable_snapshot()[1] == bytes(content)
+        assert dom.cache.dirty_count() == 0
