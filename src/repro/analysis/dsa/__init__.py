@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ...ir.module import Module
+from ...telemetry import NULL_TRACER
 from ..callgraph import CallGraph
 from .graph import Cell, DSGraph, DSNode, F_COLLAPSED, F_HEAP, F_PHEAP, F_STACK, F_UNKNOWN
 from .interproc import bottom_up, top_down
@@ -35,26 +36,44 @@ class DSAResult:
     def stats(self) -> Dict[str, int]:
         nodes = sum(len(g.all_representatives()) for g in self.graphs.values())
         persistent = sum(len(g.persistent_nodes()) for g in self.graphs.values())
+        edges = sum(
+            sum(len(node.edges) for node in g.all_representatives())
+            for g in self.graphs.values()
+        )
         return {
             "functions": len(self.graphs),
             "nodes": nodes,
+            "edges": edges,
             "persistent_nodes": persistent,
         }
 
 
-def run_dsa(module: Module, interprocedural: bool = True) -> DSAResult:
+def run_dsa(module: Module, interprocedural: bool = True,
+            tracer=None, metrics=None) -> DSAResult:
     """Run the DSA over a module.
 
     ``interprocedural=False`` stops after the local phase (no bottom-up
     cloning, no top-down flag propagation) — the ablation that shows why
     §4.2's interprocedural phases matter.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) times the three phases
+    as nested spans; ``metrics`` (a
+    :class:`repro.telemetry.MetricsRegistry`) receives the graph census
+    as ``dsa.*`` gauges.  Both default to no-ops.
     """
-    cg = CallGraph(module)
-    graphs, calls = build_local_graphs(module)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("dsa.local"):
+        cg = CallGraph(module)
+        graphs, calls = build_local_graphs(module)
     if interprocedural:
-        bottom_up(module, cg, graphs, calls)
-        top_down(module, cg, graphs, calls)
-    return DSAResult(module, cg, graphs, calls)
+        with tracer.span("dsa.bottom_up"):
+            bottom_up(module, cg, graphs, calls)
+        with tracer.span("dsa.top_down"):
+            top_down(module, cg, graphs, calls)
+    result = DSAResult(module, cg, graphs, calls)
+    if metrics is not None:
+        metrics.publish("dsa", result.stats())
+    return result
 
 
 __all__ = [

@@ -21,6 +21,7 @@ involving persistent memory").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -120,10 +121,22 @@ class TraceCollector:
         include_loads: bool = True,
         field_sensitive: bool = True,
         interprocedural: bool = True,
+        tracer=None,
     ):
+        from ..telemetry import NULL_TRACER
+
         self.module = module
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        build_t0 = time.perf_counter()
         self.dsa = dsa if dsa is not None else run_dsa(
-            module, interprocedural=interprocedural
+            module, interprocedural=interprocedural, tracer=self._tracer
+        )
+        #: wall time this collector itself spent building the DSA (0.0
+        #: when a ready DSAResult was passed in); the checker engine reads
+        #: this so CheckTimings.dsa_s is consistent for pre-built
+        #: collectors.
+        self.dsa_build_s = (
+            0.0 if dsa is not None else time.perf_counter() - build_t0
         )
         #: ablation knob: False analyzes each function in isolation —
         #: call sites are dropped instead of merged (no Figure 11).
@@ -145,7 +158,10 @@ class TraceCollector:
     # -- public API -----------------------------------------------------------
     def traces_for(self, fn_name: str) -> List[Trace]:
         """Fully merged traces rooted at ``fn_name``."""
-        merged = self._merged(fn_name, depth={})
+        with self._tracer.span("traces.root", root=fn_name) as sp:
+            merged = self._merged(fn_name, depth={})
+            sp.set("traces", len(merged))
+            sp.set("events", sum(len(events) for events in merged))
         return [Trace(fn_name, events) for events in merged]
 
     def all_root_traces(self) -> Dict[str, List[Trace]]:

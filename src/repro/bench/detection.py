@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ..checker.engine import StaticChecker
 from ..checker.report import Warning_
 from ..corpus import REGISTRY
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..corpus.registry import (
     ALL_CLASSES,
     FRAMEWORK_DISPLAY,
@@ -98,34 +99,60 @@ class DetectionResult:
 
 
 def run_detection(framework: Optional[str] = None,
+                  telemetry: Optional[Telemetry] = None,
                   **checker_opts) -> DetectionResult:
     """Run the static checker on every (selected) corpus program.
 
     ``checker_opts`` are forwarded to :class:`StaticChecker` (and its
     trace collector) — e.g. ``field_sensitive=False`` for the ablation.
+    ``telemetry`` (optional) gets one ``corpus.program`` span per program
+    plus ``corpus.*`` aggregate counters.
     """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     result = DetectionResult()
-    for program in REGISTRY.programs(framework):
-        module = program.build()
-        report = StaticChecker(module, **checker_opts).run()
-        warnings = report.warnings()
-        by_key = {(b.rule_id, b.file, b.line): b for b in program.bugs}
-        matched: List[Tuple[Warning_, BugSpec]] = []
-        unmatched: List[Warning_] = []
-        seen = set()
-        for w in warnings:
-            key = (w.rule_id, w.loc.file, w.loc.line)
-            bug = by_key.get(key)
-            if bug is not None:
-                matched.append((w, bug))
-                seen.add(key)
-            else:
-                unmatched.append(w)
-        missed = [b for k, b in by_key.items() if k not in seen]
-        result.outcomes.append(
-            ProgramOutcome(program, warnings, matched, unmatched, missed)
-        )
+    with tel.span("corpus.detection", framework=framework or "all") as top:
+        for program in REGISTRY.programs(framework):
+            with tel.span("corpus.program", program=program.name,
+                          framework=program.framework) as sp:
+                module = program.build()
+                report = StaticChecker(
+                    module, telemetry=telemetry, **checker_opts).run()
+                sp.set("warnings", len(report))
+            result.outcomes.append(
+                _match_ground_truth(program, report))
+        top.set("programs", len(result.outcomes))
+        top.set("warnings", result.total_warnings)
+    if tel.enabled:
+        tel.metrics.counter("corpus.programs").inc(len(result.outcomes))
+        tel.metrics.counter("corpus.warnings").inc(result.total_warnings)
+        tel.metrics.counter("corpus.validated").inc(result.total_validated)
+        tel.metrics.counter("corpus.false_positives").inc(
+            result.total_false_positives)
+        tel.event("corpus_detection", framework=framework or "all",
+                  programs=len(result.outcomes),
+                  warnings=result.total_warnings,
+                  validated=result.total_validated,
+                  false_positives=result.total_false_positives)
     return result
+
+
+def _match_ground_truth(program: CorpusProgram, report) -> ProgramOutcome:
+    """Match one program's warnings against its registry ground truth."""
+    warnings = report.warnings()
+    by_key = {(b.rule_id, b.file, b.line): b for b in program.bugs}
+    matched: List[Tuple[Warning_, BugSpec]] = []
+    unmatched: List[Warning_] = []
+    seen = set()
+    for w in warnings:
+        key = (w.rule_id, w.loc.file, w.loc.line)
+        bug = by_key.get(key)
+        if bug is not None:
+            matched.append((w, bug))
+            seen.add(key)
+        else:
+            unmatched.append(w)
+    missed = [b for k, b in by_key.items() if k not in seen]
+    return ProgramOutcome(program, warnings, matched, unmatched, missed)
 
 
 def render_table1(result: DetectionResult) -> str:

@@ -10,7 +10,6 @@ and the model's checking rules are applied to every merged trace of every
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -20,6 +19,7 @@ from ..analysis.traces import Trace, TraceCollector
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..models import PersistencyModel, get_model
+from ..telemetry import Telemetry, Tracer
 from .report import Report
 from .rules import CheckContext, build_rules
 
@@ -59,7 +59,14 @@ def analysis_roots(cg: CallGraph) -> List[str]:
 
 @dataclass
 class CheckTimings:
-    """Wall-clock breakdown of one checker run (feeds Table 9)."""
+    """Wall-clock breakdown of one checker run (feeds Table 9).
+
+    Populated from the checker's span tree: one field per pipeline phase.
+    When a pre-built :class:`TraceCollector` is passed to the checker,
+    ``dsa_s`` reports the DSA time the collector spent in its own
+    constructor (its ``dsa_build_s``) so the breakdown stays consistent
+    with who actually did the work.
+    """
 
     verify_s: float = 0.0
     dsa_s: float = 0.0
@@ -69,6 +76,15 @@ class CheckTimings:
     @property
     def total_s(self) -> float:
         return self.verify_s + self.dsa_s + self.traces_s + self.rules_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "verify_s": self.verify_s,
+            "dsa_s": self.dsa_s,
+            "traces_s": self.traces_s,
+            "rules_s": self.rules_s,
+            "total_s": self.total_s,
+        }
 
 
 class StaticChecker:
@@ -80,6 +96,7 @@ class StaticChecker:
         model: Optional[str] = None,
         collector: Optional[TraceCollector] = None,
         verify: bool = True,
+        telemetry: Optional[Telemetry] = None,
         **collector_opts,
     ):
         self.module = module
@@ -87,52 +104,100 @@ class StaticChecker:
         self._collector = collector
         self._collector_opts = collector_opts
         self._verify = verify
+        self.telemetry = telemetry
+        # The checker always times its handful of phases with its own
+        # tracer when no telemetry is attached: span count is O(phases),
+        # so the cost is noise, and CheckTimings stays populated.
+        self._tracer: Tracer = telemetry.tracer if telemetry is not None else Tracer()
         self.timings = CheckTimings()
         self.traces_checked = 0
+        #: root span of the most recent run (None before the first run
+        #: or when the attached tracer is disabled)
+        self.last_span = None
 
     def run(self) -> Report:
-        t0 = time.perf_counter()
-        if self._verify:
-            verify_module(self.module)
-        t1 = time.perf_counter()
-        self.timings.verify_s = t1 - t0
+        tracer = self._tracer
+        timings = CheckTimings()
+        self.traces_checked = 0
 
-        if self._collector is None:
-            dsa = run_dsa(
-                self.module,
-                interprocedural=self._collector_opts.get("interprocedural", True),
-            )
-            t2 = time.perf_counter()
-            self.timings.dsa_s = t2 - t1
-            self._collector = TraceCollector(
-                self.module, dsa, **self._collector_opts
-            )
-        else:
-            t2 = time.perf_counter()
+        with tracer.span("check", module=self.module.name,
+                         model=self.model.name) as root_span:
+            with tracer.span("verify") as sp:
+                if self._verify:
+                    verify_module(self.module)
+            timings.verify_s = sp.duration_s
 
-        if self._collector.interprocedural:
-            roots = analysis_roots(self._collector.dsa.callgraph)
-        else:
-            # Ablation: every function is checked in isolation.
-            annotations = self.module.annotations
-            roots = [
-                fn.name for fn in self.module.defined_functions()
-                if not annotations.is_annotated(fn.name)
-            ]
-        traces: Dict[str, List[Trace]] = {
-            root: self._collector.traces_for(root) for root in roots
-        }
-        t3 = time.perf_counter()
-        self.timings.traces_s = t3 - t2
+            if self._collector is None:
+                with tracer.span("dsa") as sp:
+                    dsa = run_dsa(
+                        self.module,
+                        interprocedural=self._collector_opts.get(
+                            "interprocedural", True),
+                        tracer=tracer,
+                        metrics=(self.telemetry.metrics
+                                 if self.telemetry is not None else None),
+                    )
+                timings.dsa_s = sp.duration_s
+                self._collector = TraceCollector(
+                    self.module, dsa, tracer=tracer, **self._collector_opts
+                )
+            else:
+                # A pre-built collector ran its DSA in its own
+                # constructor; charge that time instead of silently
+                # reporting zero (it is 0.0 when the collector was handed
+                # a ready DSAResult — no DSA work happened anywhere).
+                timings.dsa_s = self._collector.dsa_build_s
 
-        report = Report(self.module.name, self.model.name)
-        factories = build_rules(self.model)
-        for root, root_traces in traces.items():
-            ctx = CheckContext(self.module, self.model, root)
-            for trace in root_traces:
-                self.traces_checked += 1
-                for factory in factories:
-                    rule = factory()
-                    report.extend(rule.check(trace, ctx))
-        self.timings.rules_s = time.perf_counter() - t3
+            if self._collector.interprocedural:
+                roots = analysis_roots(self._collector.dsa.callgraph)
+            else:
+                # Ablation: every function is checked in isolation.
+                annotations = self.module.annotations
+                roots = [
+                    fn.name for fn in self.module.defined_functions()
+                    if not annotations.is_annotated(fn.name)
+                ]
+            with tracer.span("traces", roots=len(roots)) as sp:
+                traces: Dict[str, List[Trace]] = {
+                    root: self._collector.traces_for(root) for root in roots
+                }
+            timings.traces_s = sp.duration_s
+
+            report = Report(self.module.name, self.model.name)
+            with tracer.span("rules") as sp:
+                factories = build_rules(self.model)
+                for root, root_traces in traces.items():
+                    ctx = CheckContext(self.module, self.model, root)
+                    for trace in root_traces:
+                        self.traces_checked += 1
+                        for factory in factories:
+                            rule = factory()
+                            report.extend(rule.check(trace, ctx))
+                sp.set("traces_checked", self.traces_checked)
+                sp.set("warnings", len(report))
+            timings.rules_s = sp.duration_s
+            root_span.set("warnings", len(report))
+            root_span.set("traces_checked", self.traces_checked)
+
+        self.timings = timings
+        self.last_span = root_span if tracer.enabled else None
+        if self.telemetry is not None:
+            self._publish(report)
         return report
+
+    def _publish(self, report: Report) -> None:
+        """Push this run's results into the attached metrics registry."""
+        tel = self.telemetry
+        assert tel is not None
+        tel.metrics.counter("checker.runs").inc()
+        tel.metrics.counter("checker.traces_checked").inc(self.traces_checked)
+        tel.metrics.counter("checker.warnings").inc(len(report))
+        tel.metrics.publish("checker.timings", self.timings.as_dict())
+        tel.event(
+            "check_report",
+            module=self.module.name,
+            model=self.model.name,
+            warnings=len(report),
+            traces_checked=self.traces_checked,
+            total_s=round(self.timings.total_s, 6),
+        )

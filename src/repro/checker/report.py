@@ -8,8 +8,9 @@ the paper's bug tables.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..ir.sourceloc import SourceLoc
 from ..models import CATEGORY_PERFORMANCE, CATEGORY_VIOLATION, RULES_BY_ID
@@ -40,6 +41,18 @@ class Warning_:
     def render(self) -> str:
         tag = "VIOLATION" if self.category == CATEGORY_VIOLATION else "PERF"
         return f"WARNING [{tag}] {self.loc}: {self.title} — {self.message} (in @{self.fn}, {self.rule_id}, {self.source})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "category": self.category,
+            "title": self.title,
+            "file": self.loc.file,
+            "line": self.loc.line,
+            "fn": self.fn,
+            "message": self.message,
+            "source": self.source,
+        }
 
 
 class Report:
@@ -95,6 +108,21 @@ class Report:
 
     def __len__(self) -> int:
         return len(self._warnings)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable view: the ``--format json`` payload that CI
+        and scripts consume instead of screen-scraping :meth:`render`."""
+        return {
+            "module": self.module_name,
+            "model": self.model,
+            "count": len(self),
+            "violations": len(self.violations()),
+            "performance": len(self.performance()),
+            "warnings": [w.to_dict() for w in self.warnings()],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def render(self) -> str:
         lines = [

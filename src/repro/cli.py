@@ -6,6 +6,8 @@ single persistency-model flag; the tool reports warnings with file:line.
 Subcommands::
 
     deepmc check FILE.nvmir [--model strict|epoch|strand] [--dynamic]
+                 [--format text|json] [--profile] [--trace-out EVENTS.jsonl]
+    deepmc profile FILE.nvmir [--run] [--format text|json]
     deepmc run FILE.nvmir [--entry main] [--arg N ...]
     deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
     deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
@@ -14,6 +16,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -21,6 +24,7 @@ from .checker.engine import StaticChecker
 from .dynamic.checker import DynamicChecker
 from .errors import ReproError
 from .ir.parser import parse_module
+from .telemetry import JsonlSink, LogfmtSink, Telemetry, render_profile_tree
 from .vm.interpreter import Interpreter
 
 
@@ -34,12 +38,34 @@ def _load_module(path: str):
     return parse_module(source)
 
 
+def _telemetry_for(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Build a Telemetry instance when any observability flag asks for
+    one; None keeps every layer on its zero-overhead disabled path."""
+    trace_out = getattr(args, "trace_out", None)
+    wanted = (
+        trace_out
+        or getattr(args, "profile", False)
+        or getattr(args, "logfmt", False)
+        or getattr(args, "format", "text") == "json"
+    )
+    if not wanted:
+        return None
+    sinks = []
+    if trace_out:
+        sinks.append(JsonlSink(trace_out))
+    if getattr(args, "logfmt", False):
+        sinks.append(LogfmtSink(sys.stderr))
+    return Telemetry(sinks=sinks)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    tel = _telemetry_for(args)
     module = _load_module(args.file)
-    report = StaticChecker(module, model=args.model).run()
+    checker = StaticChecker(module, model=args.model, telemetry=tel)
+    report = checker.run()
     if args.dynamic:
-        checker = DynamicChecker(module, model=args.model)
-        dyn_report, _runs = checker.run(entry=args.entry)
+        dyn = DynamicChecker(module, model=args.model, telemetry=tel)
+        dyn_report, _runs = dyn.run(entry=args.entry)
         report.merge(dyn_report)
     suppressed = []
     if args.suppressions:
@@ -47,35 +73,88 @@ def cmd_check(args: argparse.Namespace) -> int:
 
         db = SuppressionDB.load(args.suppressions)
         report, suppressed = db.filter(report)
-    print(report.render())
-    if suppressed:
-        print(f"\n({len(suppressed)} warning(s) suppressed by "
-              f"{args.suppressions})")
-    if args.suggest_fixes and len(report):
-        from .checker.fixes import suggest_fixes
 
-        print("\nSuggested fixes:")
-        for suggestion in suggest_fixes(report):
-            print(f"  {suggestion.render()}")
+    if args.format == "json":
+        payload = {
+            "report": report.to_dict(),
+            "timings": checker.timings.as_dict(),
+            "traces_checked": checker.traces_checked,
+            "suppressed": len(suppressed),
+        }
+        if tel is not None:
+            payload["metrics"] = tel.metrics.snapshot()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if suppressed:
+            print(f"\n({len(suppressed)} warning(s) suppressed by "
+                  f"{args.suppressions})")
+        if args.suggest_fixes and len(report):
+            from .checker.fixes import suggest_fixes
+
+            print("\nSuggested fixes:")
+            for suggestion in suggest_fixes(report):
+                print(f"  {suggestion.render()}")
+    if args.profile and tel is not None:
+        # stderr so --format json stdout stays machine-parseable
+        print(tel.profile(), file=sys.stderr)
+    if tel is not None:
+        tel.close()
     return 1 if len(report) else 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the full static pipeline (and optionally one VM run) on a
+    program and print the nested phase tree with per-phase shares."""
+    sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+    tel = Telemetry(sinks=sinks)
+    with tel.span("profile", file=args.file) as top:
+        with tel.span("load"):
+            module = _load_module(args.file)
+        checker = StaticChecker(module, model=args.model, telemetry=tel)
+        report = checker.run()
+        if args.run:
+            interp = Interpreter(module, telemetry=tel)
+            interp.run(args.entry, [int(a) for a in args.arg])
+        top.set("warnings", len(report))
+    if args.format == "json":
+        payload = {
+            "profile": top.to_dict(),
+            "timings": checker.timings.as_dict(),
+            "metrics": tel.metrics.snapshot(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_profile_tree(tel.tracer.roots))
+        print()
+        print(f"warnings: {len(report)}  "
+              f"traces checked: {checker.traces_checked}")
+    tel.close()
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    tel = _telemetry_for(args)
     module = _load_module(args.file)
-    result = Interpreter(module).run(args.entry, [int(a) for a in args.arg])
+    interp = Interpreter(module, telemetry=tel,
+                         trace_instructions=args.trace_instructions)
+    result = interp.run(args.entry, [int(a) for a in args.arg])
     for line in result.output:
         print(line)
     print(f"returned: {result.value}")
     print(f"steps: {result.steps}")
     for key, value in result.stats.snapshot().items():
         print(f"  {key}: {value}")
+    if tel is not None:
+        tel.close()
     return 0
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
     from .bench.detection import render_table1, run_detection
 
-    result = run_detection(framework=args.framework)
+    tel = _telemetry_for(args)
+    result = run_detection(framework=args.framework, telemetry=tel)
     print(render_table1(result))
     print()
     print(
@@ -84,6 +163,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         f"false positives: {result.total_false_positives} "
         f"({result.false_positive_rate:.0%})"
     )
+    if getattr(args, "profile", False) and tel is not None:
+        print(tel.profile(), file=sys.stderr)
+    if tel is not None:
+        tel.close()
     missed = result.missed()
     if missed:
         print(f"MISSED {len(missed)} ground-truth bugs:")
@@ -143,6 +226,15 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="print the span profile tree to stderr")
+    p.add_argument("--trace-out", default=None, metavar="EVENTS.jsonl",
+                   help="write structured telemetry events as JSON lines")
+    p.add_argument("--logfmt", action="store_true",
+                   help="stream telemetry events to stderr as logfmt")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="deepmc",
@@ -163,19 +255,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="filter warnings through a suppression database")
     p.add_argument("--suggest-fixes", action="store_true",
                    help="print a repair suggestion for each warning")
+    _add_observability_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is machine-readable)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile the static pipeline on a program: nested phase "
+             "tree with per-phase wall time and %% of total",
+    )
+    p.add_argument("file")
+    p.add_argument("--model", choices=["strict", "epoch", "strand"],
+                   default=None)
+    p.add_argument("--run", action="store_true",
+                   help="also execute the program on the VM and include "
+                        "the run in the profile")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--arg", action="append", default=[],
+                   help="integer argument for --run")
+    p.add_argument("--trace-out", default=None, metavar="EVENTS.jsonl",
+                   help="also write the JSONL event log")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("run", help="execute an IR module on the simulator")
     p.add_argument("file")
     p.add_argument("--entry", default="main")
     p.add_argument("--arg", action="append", default=[],
                    help="integer argument for the entry function")
+    _add_observability_flags(p)
+    p.add_argument("--trace-instructions", action="store_true",
+                   help="emit one event per executed instruction to the "
+                        "trace sinks (large!)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("corpus", help="run detection over the bug corpus")
     p.add_argument("--framework",
                    choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
                    default=None)
+    _add_observability_flags(p)
     p.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser(

@@ -13,6 +13,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from ..checker.report import Report
 from ..ir.module import Module
 from ..models import get_model
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..vm.interpreter import ExecResult, Interpreter
 from ..vm.scheduler import SeededScheduler
 from .instrumenter import Instrumenter
@@ -32,11 +33,17 @@ class DynamicChecker:
     """Instruments a module once and executes it under the runtime."""
 
     def __init__(self, module: Module, model: Optional[str] = None,
-                 instrument_reads: bool = True):
+                 instrument_reads: bool = True,
+                 telemetry: Optional[Telemetry] = None):
         self.module = module
         self.model = get_model(model or module.persistency_model)
-        self.instrumenter = Instrumenter(module, instrument_reads=instrument_reads)
-        self.hooks_inserted = self.instrumenter.run()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        with self.telemetry.span("dynamic.instrument",
+                                 module=module.name) as sp:
+            self.instrumenter = Instrumenter(
+                module, instrument_reads=instrument_reads)
+            self.hooks_inserted = self.instrumenter.run()
+            sp.set("hooks", self.hooks_inserted)
         self.runs: List[DynamicRunResult] = []
 
     def run(
@@ -48,16 +55,30 @@ class DynamicChecker:
         **interp_kwargs: Any,
     ) -> Tuple[Report, List[DynamicRunResult]]:
         """Execute under each seed; returns (merged report, run results)."""
+        tel = self.telemetry
         report = Report(self.module.name, self.model.name)
         for seed in seeds:
-            runtime = DeepMCRuntime()
-            interp = Interpreter(
-                self.module,
-                scheduler=SeededScheduler(seed=seed, switch_prob=switch_prob),
-                **interp_kwargs,
-            )
-            interp.deepmc_runtime = runtime
-            result = interp.run(entry, args)
-            self.runs.append(DynamicRunResult(seed, result, runtime))
-            report.merge(runtime.to_report(self.module.name, self.model.name))
+            with tel.span("dynamic.run", seed=seed) as sp:
+                runtime = DeepMCRuntime()
+                interp = Interpreter(
+                    self.module,
+                    scheduler=SeededScheduler(seed=seed,
+                                              switch_prob=switch_prob),
+                    telemetry=self.telemetry if tel.enabled else None,
+                    **interp_kwargs,
+                )
+                interp.deepmc_runtime = runtime
+                result = interp.run(entry, args)
+                self.runs.append(DynamicRunResult(seed, result, runtime))
+                report.merge(
+                    runtime.to_report(self.module.name, self.model.name))
+                sp.set("races", len(runtime.races))
+                sp.set("events_handled", runtime.events_handled)
+            if tel.enabled:
+                tel.metrics.counter("dynamic.runs").inc()
+                tel.metrics.counter("dynamic.races").inc(len(runtime.races))
+                tel.metrics.counter("dynamic.events_handled").inc(
+                    runtime.events_handled)
+        if tel.enabled:
+            tel.metrics.gauge("dynamic.warnings").set(len(report))
         return report, self.runs

@@ -40,9 +40,14 @@ class PersistDomain:
         memory_reader: MemoryReader,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         cache_capacity_lines: int = 8192,
+        event_emitter: Optional[Callable[..., None]] = None,
     ):
         self._read_mem = memory_reader
         self.cost = cost_model
+        #: telemetry hook ``emit(kind, **fields)`` for the persist-event
+        #: stream (store/flush/fence/write-back); None keeps the hot path
+        #: at one attribute load + branch per event.
+        self._emit = event_emitter
         self.stats = NVMStats()
         self.device = NVMDevice()
         self.cache = WriteBackCache(cache_capacity_lines)
@@ -76,6 +81,9 @@ class PersistDomain:
             # same line (its content snapshot would be stale on real HW
             # too: clwb persists whatever is in the line when it drains).
             self.cache.touch_dirty(line)
+        if self._emit is not None:
+            self._emit("persist.store", alloc=alloc_id, offset=offset,
+                       size=size)
 
     def on_load(self, alloc_id: int, offset: int, size: int) -> None:
         self.stats.persistent_loads += 1
@@ -107,6 +115,10 @@ class PersistDomain:
                     self.stats.flushes_duplicate += 1
         if not any_dirty:
             self.stats.flushes_clean += 1
+        if self._emit is not None:
+            self._emit("persist.flush", alloc=alloc_id, offset=offset,
+                       size=size, clean=not any_dirty,
+                       pending=len(self._pending))
 
     def fence(self) -> int:
         """Drain pending flushes; returns the number of lines persisted."""
@@ -119,6 +131,8 @@ class PersistDomain:
             drained += 1
         if drained == 0:
             self.stats.fences_empty += 1
+        if self._emit is not None:
+            self._emit("persist.fence", drained=drained, empty=drained == 0)
         return drained
 
     # -- write-back sink -----------------------------------------------------
@@ -138,6 +152,9 @@ class PersistDomain:
         self.stats.cycles += self.cost.nvm_line_writeback
         if evicted:
             self.stats.lines_evicted += 1
+            if self._emit is not None:
+                self._emit("persist.evict", alloc=alloc_id, line=idx,
+                           bytes=written)
 
     # -- crash-state inspection --------------------------------------------------
     def pending_lines(self) -> List[LineId]:

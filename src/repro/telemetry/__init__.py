@@ -1,0 +1,121 @@
+"""Unified telemetry: span tracing, metrics, and structured event sinks.
+
+One :class:`Telemetry` object travels through a pipeline run and every
+layer reports into it:
+
+* **spans** (:mod:`~repro.telemetry.spans`) time nested phases — checker
+  verify/dsa/traces/rules, per-root trace collection, VM executions;
+* **metrics** (:mod:`~repro.telemetry.metrics`) hold named counters and
+  gauges — the VM's ``NVMStats`` snapshot, DSA node counts, dynamic-race
+  totals — flattened by ``snapshot()`` for JSON reports;
+* **sinks** (:mod:`~repro.telemetry.sinks`) stream structured events
+  (span ends, persist-domain flush/fence traffic, per-instruction traces)
+  to JSONL files or logfmt stderr.
+
+Usage::
+
+    tel = Telemetry(sinks=[JsonlSink("events.jsonl")])
+    report = StaticChecker(module, telemetry=tel).run()
+    print(tel.profile())           # nested phase tree
+    print(tel.metrics.snapshot())  # flat metric dict
+    tel.close()
+
+Components accept ``telemetry=None`` and fall back to
+:data:`NULL_TELEMETRY`, a disabled instance whose spans and events are
+no-ops — the disabled-path cost is an attribute load and a branch, so hot
+loops (the VM dispatch loop, the persist domain) stay at full speed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import flatten_spans, render_profile_tree
+from .sinks import JsonlSink, LogfmtSink, NullSink, Sink, logfmt
+from .spans import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+
+class Telemetry:
+    """Bundle of one tracer, one metrics registry, and N event sinks."""
+
+    def __init__(self, enabled: bool = True,
+                 sinks: Iterable[Sink] = ()):
+        self.enabled = enabled
+        self.sinks: List[Sink] = list(sinks)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            enabled=enabled,
+            on_span_end=self._on_span_end if enabled else None,
+        )
+
+    # -- spans --------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    @property
+    def events_enabled(self) -> bool:
+        """True when ``event()`` actually goes anywhere — lets hot paths
+        skip building event payloads entirely."""
+        return self.enabled and bool(self.sinks)
+
+    # -- events -------------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        if not self.enabled or not self.sinks:
+            return
+        payload: Dict[str, Any] = {"ts": time.time(), "event": kind}
+        payload.update(fields)
+        for sink in self.sinks:
+            sink.emit(payload)
+
+    def _on_span_end(self, span: Span, depth: int) -> None:
+        if not self.sinks:
+            return
+        self.event(
+            "span_end",
+            name=span.name,
+            duration_s=round(span.duration_s, 9),
+            depth=depth,
+            **{f"attr.{k}": v for k, v in span.attrs.items()},
+        )
+
+    # -- lifecycle / views --------------------------------------------------
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def profile(self) -> str:
+        """Rendered profile tree of every finished root span."""
+        return render_profile_tree(self.tracer.roots)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.metrics.snapshot()
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Shared disabled instance used when no telemetry was supplied.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LogfmtSink",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullSink",
+    "Sink",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "flatten_spans",
+    "logfmt",
+    "render_profile_tree",
+]

@@ -1,0 +1,142 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+Every layer of the pipeline publishes here under a stable prefix —
+``vm.*`` (the :class:`~repro.nvm.stats.NVMStats` snapshot), ``checker.*``
+(timings and ``traces_checked``), ``dsa.*`` (node counts), ``dynamic.*``
+(race stats), ``corpus.*`` (driver totals) — and ``snapshot()`` flattens
+the lot into one dict for JSON reports and benches.
+
+Instruments are created on first use (``registry.counter("x").inc()``)
+and are individually lock-free; the registry itself takes a lock only on
+creation and snapshot, so hot-path increments stay cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (sizes, timings, rates)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, n: Number) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Streaming summary of a value distribution (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for all named instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access --------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name))
+
+    # -- convenience --------------------------------------------------------
+    def inc(self, name: str, n: Number = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    def publish(self, prefix: str, values: Mapping[str, Number]) -> None:
+        """Dump a flat mapping (e.g. ``NVMStats.snapshot()``) as gauges
+        under ``prefix.`` — repeated publishes overwrite, matching the
+        snapshot semantics of the sources."""
+        for key, value in values.items():
+            self.gauge(f"{prefix}.{key}").set(value)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat dict of every instrument; histograms expand to
+        ``name.count/.total/.min/.max/.mean``."""
+        with self._lock:
+            out: Dict[str, Number] = {}
+            for name, c in self._counters.items():
+                out[name] = c.value
+            for name, g in self._gauges.items():
+                out[name] = g.value
+            for name, h in self._histograms.items():
+                out[f"{name}.count"] = h.count
+                out[f"{name}.total"] = h.total
+                out[f"{name}.min"] = h.min
+                out[f"{name}.max"] = h.max
+                out[f"{name}.mean"] = h.mean
+            return dict(sorted(out.items()))

@@ -1,0 +1,74 @@
+"""Profile-tree rendering: the end-of-run view of the span forest.
+
+``deepmc profile`` and ``deepmc check --profile`` print this: each span
+with its wall time, its share of the root's total, and any counters it
+carried, drawn as a box-drawing tree so nesting (check → dsa → …) is
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+from .spans import Span
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1e3:8.3f}ms"
+
+
+def _fmt_attrs(span: Span) -> str:
+    if not span.attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+    return f"  [{inner}]"
+
+
+def _render_span(span: Span, total_s: float, prefix: str, is_last: bool,
+                 is_root: bool, out: List[str]) -> None:
+    pct = (span.duration_s / total_s * 100.0) if total_s > 0 else 0.0
+    if is_root:
+        connector, child_prefix = "", ""
+    else:
+        connector = prefix + ("└─ " if is_last else "├─ ")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    label = connector + span.name
+    out.append(
+        f"{label:<40} {_fmt_duration(span.duration_s)} {pct:5.1f}%"
+        f"{_fmt_attrs(span)}"
+    )
+    kids = list(span.children)
+    for i, child in enumerate(kids):
+        _render_span(child, total_s, child_prefix, i == len(kids) - 1,
+                     False, out)
+    # Unattributed remainder, so per-phase times visibly sum to the total.
+    if kids:
+        accounted = sum(c.duration_s for c in kids)
+        other = span.duration_s - accounted
+        if span.duration_s > 0 and other / span.duration_s > 0.01:
+            opct = other / total_s * 100.0 if total_s > 0 else 0.0
+            label = child_prefix + "(other)" if not is_root else "(other)"
+            out.append(f"{label:<40} {_fmt_duration(other)} {opct:5.1f}%")
+
+
+def render_profile_tree(roots: Sequence[Span]) -> str:
+    """Render a span forest; percentages are of each tree's own root."""
+    out: List[str] = []
+    for root in roots:
+        if out:
+            out.append("")
+        _render_span(root, root.duration_s, "", True, True, out)
+    return "\n".join(out) if out else "(no spans recorded)"
+
+
+def flatten_spans(roots: Iterable[Span]) -> List[Span]:
+    """Depth-first flat list of a span forest (for tests and summaries)."""
+    out: List[Span] = []
+    stack = list(reversed(list(roots)))
+    while stack:
+        span = stack.pop()
+        out.append(span)
+        stack.extend(reversed(span.children))
+    return out

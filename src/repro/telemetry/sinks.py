@@ -1,0 +1,93 @@
+"""Structured event sinks: JSONL files and logfmt streams.
+
+Every telemetry event is one flat-ish dict with at least ``ts`` (UNIX
+seconds) and ``event`` (kind).  The JSONL sink writes one JSON object per
+line — the ``--trace-out events.jsonl`` format documented in
+``docs/OBSERVABILITY.md`` — and the logfmt sink renders ``k=v`` pairs for
+humans tailing stderr.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+from typing import Any, Dict, IO, Optional, Union
+
+
+class Sink:
+    """Interface: receives event dicts; close() flushes/releases."""
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class NullSink(Sink):
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+
+class JsonlSink(Sink):
+    """One compact JSON object per event, newline-delimited."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, (str, bytes)):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True,
+                          default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+def logfmt(event: Dict[str, Any]) -> str:
+    """Render a dict as a logfmt line (``k=v``, quoting values with
+    spaces); ``event`` and ``ts`` keys lead for scannability."""
+    lead = [k for k in ("event", "ts") if k in event]
+    keys = lead + sorted(k for k in event if k not in lead)
+    parts = []
+    for key in keys:
+        value = event[key]
+        if isinstance(value, float):
+            text = f"{value:.6f}"
+        else:
+            text = str(value)
+        if " " in text or '"' in text or "=" in text:
+            text = json.dumps(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class LogfmtSink(Sink):
+    """Human-tailable ``k=v`` lines, to stderr by default."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._stream.write(logfmt(event) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._stream.flush()
+            except (ValueError, io.UnsupportedOperation):  # closed stream
+                pass

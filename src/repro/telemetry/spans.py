@@ -1,0 +1,195 @@
+"""Span tracing: nested, attributed wall-clock intervals.
+
+A *span* is one timed phase of the pipeline ("dsa", "traces", one VM run).
+Spans nest via ``with`` blocks, carry attributes and counters, and build
+the tree that ``deepmc profile`` renders and Table 9 reads.
+
+Design constraints (the VM dispatch loop is the customer):
+
+* **near-zero overhead when disabled** — a disabled :class:`Tracer`
+  returns one shared :data:`NULL_SPAN` whose every method is a no-op, so
+  the only cost on a disabled hot path is an attribute load and a branch;
+* **thread-safe** — the open-span stack is thread-local (each cooperative
+  VM thread runs on the host thread, but the dynamic checker and future
+  sharded drivers run checkers from worker threads), and finished roots
+  are collected under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed interval. Use as a context manager via ``Tracer.span``."""
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children", "_tracer")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], tracer: "Tracer"):
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_s = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end_s = self._tracer._clock()
+        self._tracer._pop(self)
+        return False
+
+    # -- payload ------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s != 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def incr(self, key: str, n: int = 1) -> None:
+        self.attrs[key] = self.attrs.get(key, 0) + n
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with the given name, if any."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "duration_s": self.duration_s}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms)"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def incr(self, key: str, n: int = 1) -> None:
+        pass
+
+    def child(self, name: str) -> None:
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": "", "duration_s": 0.0}
+
+    @property
+    def name(self) -> str:
+        return ""
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return {}
+
+    @property
+    def children(self) -> tuple:
+        return ()
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+    @property
+    def finished(self) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and collector of spans.
+
+    ``tracer.span("dsa", functions=12)`` opens a span nested under the
+    calling thread's innermost open span; when a root span closes it is
+    appended to :attr:`roots`.  ``on_span_end`` (if set) fires for every
+    finished span with ``(span, depth)`` — the Telemetry facade uses it to
+    stream span events into sinks.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        on_span_end: Optional[Callable[[Span, int], None]] = None,
+    ):
+        self.enabled = enabled
+        self._clock = clock
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: List[Span] = []
+        self.on_span_end = on_span_end
+
+    def span(self, name: str, **attrs: Any):
+        """Open a (not-yet-started) span; enter it with ``with``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attrs, self)
+
+    def current(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+    # -- stack management (called by Span.__enter__/__exit__) ---------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        depth = len(stack) - 1
+        # Tolerate exits out of order (an exception unwound past children).
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self.roots.append(span)
+        if self.on_span_end is not None:
+            self.on_span_end(span, max(depth, 0))
+
+
+NULL_TRACER = Tracer(enabled=False)

@@ -36,6 +36,7 @@ from ..ir.sourceloc import SourceLoc
 from ..ir.values import Argument, Constant, Value
 from ..nvm.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..nvm.domain import PersistDomain
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from . import builtins as bi
 from .memory import NULL, Memory, Pointer
 from .scheduler import RoundRobinScheduler, Scheduler
@@ -171,10 +172,19 @@ class Interpreter:
         max_steps: int = 50_000_000,
         crash_point: Optional[CrashPoint] = None,
         seed: int = 0x9E3779B9,
+        telemetry: Optional[Telemetry] = None,
+        trace_instructions: bool = False,
     ):
         self.module = module
         self.memory = Memory()
-        self.domain = PersistDomain(self.memory.read_alloc_bytes, cost_model)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Resolve the event hook once: the dispatch loop and the persist
+        # domain see either a bound emitter or None, never a facade call.
+        emit = (self.telemetry.event
+                if self.telemetry.events_enabled else None)
+        self._trace_instructions = trace_instructions and emit is not None
+        self.domain = PersistDomain(self.memory.read_alloc_bytes, cost_model,
+                                    event_emitter=emit)
         self.cost = cost_model
         self.scheduler = scheduler or RoundRobinScheduler()
         self.max_steps = max_steps
@@ -195,10 +205,16 @@ class Interpreter:
         if fn.is_declaration():
             raise VMError(f"entry @{entry} is a declaration")
         main = self._spawn_thread(fn, list(args))
-        try:
-            self._loop()
-        except CrashInjected:
-            self.crashed = True
+        with self.telemetry.span("vm.run", module=self.module.name,
+                                 entry=entry) as span:
+            try:
+                self._loop()
+            except CrashInjected:
+                self.crashed = True
+            span.set("steps", self.steps)
+            span.set("crashed", self.crashed)
+        if self.telemetry.enabled:
+            self._publish_stats(entry)
         return ExecResult(
             value=main.result,
             steps=self.steps,
@@ -206,6 +222,16 @@ class Interpreter:
             crashed=self.crashed,
             interpreter=self,
         )
+
+    def _publish_stats(self, entry: str) -> None:
+        """Mirror this run's NVMStats into the telemetry registry."""
+        tel = self.telemetry
+        stats = self.domain.stats.snapshot()
+        tel.metrics.counter("vm.runs").inc()
+        tel.metrics.publish("vm", stats)
+        tel.metrics.histogram("vm.steps").observe(self.steps)
+        tel.event("vm_run_end", module=self.module.name, entry=entry,
+                  steps=self.steps, crashed=self.crashed, **stats)
 
     # -- thread management ------------------------------------------------------
     def _spawn_thread(self, fn: Function, args: Sequence[Any]) -> Thread:
@@ -264,6 +290,12 @@ class Interpreter:
         inst = frame.block.instructions[frame.index]
         if self.crash_point is not None and self.crash_point.matches(inst.loc, self.steps):
             raise CrashInjected(f"crash injected at {inst.loc}")
+        if self._trace_instructions:
+            self.telemetry.event(
+                "vm.inst", step=self.steps, thread=thread.thread_id,
+                fn=frame.fn.name, op=inst.__class__.__name__.lower(),
+                loc=str(inst.loc),
+            )
         self.domain.stats.cycles += self.cost.instruction
         advance = self._execute(thread, frame, inst)
         if advance:

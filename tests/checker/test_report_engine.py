@@ -63,6 +63,24 @@ class TestReport:
         a.merge(b)
         assert len(a) == 2
 
+    def test_to_dict_round_trips_warnings(self):
+        import json
+
+        r = Report("mod", "epoch")
+        r.add(w(rule="strict.unflushed-write", line=3))
+        r.add(w(rule="perf.empty-durable-tx", line=9))
+        d = r.to_dict()
+        assert d["module"] == "mod" and d["model"] == "epoch"
+        assert d["count"] == 2
+        assert d["violations"] == 1 and d["performance"] == 1
+        assert [x["line"] for x in d["warnings"]] == [3, 9]
+        first = d["warnings"][0]
+        assert first["rule"] == "strict.unflushed-write"
+        assert first["file"] == "a.c" and first["fn"] == "f"
+        assert first["category"] == "violation"
+        # to_json parses back to the same dict
+        assert json.loads(r.to_json()) == d
+
 
 class TestEngine:
     def test_model_override(self, node_module):
@@ -76,6 +94,61 @@ class TestEngine:
         checker.run()
         assert checker.timings.total_s > 0
         assert checker.traces_checked >= 1
+
+    def test_timings_with_prebuilt_collector(self, node_module):
+        """Regression: dsa_s used to stay at its default when a pre-built
+        collector was passed; it must report the collector's own DSA
+        build time so the breakdown stays consistent."""
+        from repro.analysis.traces import TraceCollector
+
+        mod, _ = node_module
+        collector = TraceCollector(mod)
+        assert collector.dsa_build_s > 0
+        checker = StaticChecker(mod, collector=collector)
+        checker.run()
+        assert checker.timings.dsa_s == collector.dsa_build_s
+        assert checker.timings.verify_s > 0
+        assert checker.timings.total_s >= checker.timings.dsa_s
+
+    def test_prebuilt_dsa_means_zero_dsa_time(self, node_module):
+        """A collector handed a ready DSAResult did no DSA work anywhere,
+        so dsa_s is genuinely (and explicitly) zero."""
+        from repro.analysis.dsa import run_dsa
+        from repro.analysis.traces import TraceCollector
+
+        mod, _ = node_module
+        collector = TraceCollector(mod, dsa=run_dsa(mod))
+        assert collector.dsa_build_s == 0.0
+        checker = StaticChecker(mod, collector=collector)
+        checker.run()
+        assert checker.timings.dsa_s == 0.0
+        assert checker.timings.total_s > 0
+
+    def test_second_run_reports_fresh_timings(self, node_module):
+        """Regression: rerunning a checker used to leave dsa_s stale from
+        the first run while the other phases were overwritten."""
+        mod, _ = node_module
+        checker = StaticChecker(mod)
+        checker.run()
+        first = checker.timings
+        assert first.dsa_s > 0
+        checker.run()
+        second = checker.timings
+        assert second is not first
+        # the collector (and its DSA) are cached across runs, so the
+        # second run's breakdown charges no DSA time
+        assert second.dsa_s == 0.0
+        assert second.verify_s > 0
+
+    def test_timings_as_dict(self, node_module):
+        mod, _ = node_module
+        checker = StaticChecker(mod)
+        checker.run()
+        d = checker.timings.as_dict()
+        assert set(d) == {"verify_s", "dsa_s", "traces_s", "rules_s",
+                          "total_s"}
+        assert abs(d["total_s"] - (d["verify_s"] + d["dsa_s"]
+                                   + d["traces_s"] + d["rules_s"])) < 1e-12
 
     def test_roots_exclude_annotated_functions(self):
         from repro.analysis import CallGraph

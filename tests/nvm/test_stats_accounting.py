@@ -1,0 +1,124 @@
+"""NVMStats overhead-counter accounting on hand-built IR programs.
+
+The Table 5 performance rules (redundant flush, duplicate flush, empty
+durable tx / empty fence) are validated against exactly these counters —
+``flushes_clean``, ``flushes_duplicate``, ``fences_empty`` — so each one
+gets a minimal program asserting its accounting.
+"""
+
+from repro.ir import IRBuilder, Module, types as ty
+from repro.vm.interpreter import Interpreter
+
+
+def run_main(mod):
+    return Interpreter(mod).run("main")
+
+
+def test_redundant_flush_of_clean_line_counts_flushes_clean():
+    """store → flush → fence → flush again: the second flush writes back
+    a line that is no longer dirty — pure overhead."""
+    mod = Module("redundant_flush", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="rf.c")
+    b = IRBuilder(fn)
+    b.at(1)
+    p = b.palloc(ty.I64)
+    b.store(1, p, line=2)
+    b.flush(p, 8, line=3)
+    b.fence(line=4)
+    b.flush(p, 8, line=5)  # line is clean now: redundant
+    b.fence(line=6)
+    b.ret(line=7)
+    stats = run_main(mod).stats
+    assert stats.flushes == 2
+    assert stats.flushes_clean == 1
+    assert stats.flushes_duplicate == 0
+    # the second fence had nothing to drain (clean flush pends nothing)
+    assert stats.fences == 2
+    assert stats.fences_empty == 1
+    assert stats.lines_written_back == 1
+
+
+def test_double_flush_before_fence_counts_flushes_duplicate():
+    """store → flush → flush → fence: the line was already pending when
+    the second flush hit it."""
+    mod = Module("double_flush", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="df.c")
+    b = IRBuilder(fn)
+    b.at(1)
+    p = b.palloc(ty.I64)
+    b.store(1, p, line=2)
+    b.flush(p, 8, line=3)
+    b.flush(p, 8, line=4)  # same dirty line, still pending
+    b.fence(line=5)
+    b.ret(line=6)
+    stats = run_main(mod).stats
+    assert stats.flushes == 2
+    assert stats.flushes_duplicate == 1
+    assert stats.flushes_clean == 0
+    assert stats.fences == 1
+    assert stats.fences_empty == 0
+    # duplicate flush must not persist the line twice
+    assert stats.lines_written_back == 1
+
+
+def test_empty_durable_tx_and_bare_fence_accounting():
+    """An empty durable transaction commits nothing (no flush, no fence);
+    a bare fence afterwards drains nothing and counts as empty."""
+    mod = Module("empty_tx", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="et.c")
+    b = IRBuilder(fn)
+    b.at(1)
+    b.palloc(ty.I64)
+    b.txbegin(line=2)
+    b.txend(line=3)     # nothing was txadd-ed
+    b.fence(line=4)     # drains nothing: pure overhead
+    b.ret(line=5)
+    stats = run_main(mod).stats
+    assert stats.tx_begins == {"tx": 1}
+    assert stats.tx_ends == {"tx": 1}
+    # empty commit skips the flush+fence entirely...
+    assert stats.flushes == 0
+    # ...so the only fence is the explicit one, and it is empty
+    assert stats.fences == 1
+    assert stats.fences_empty == 1
+    assert stats.lines_written_back == 0
+    assert stats.nvm_write_bytes == 0
+
+
+def test_nonempty_tx_commit_fence_is_not_empty():
+    """Contrast case: a logged write makes the commit fence drain lines."""
+    mod = Module("full_tx", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="ft.c")
+    b = IRBuilder(fn)
+    b.at(1)
+    p = b.palloc(ty.I64)
+    b.txbegin(line=2)
+    b.txadd(p, 8, line=3)
+    b.store(5, p, line=4)
+    b.txend(line=5)
+    b.ret(line=6)
+    stats = run_main(mod).stats
+    assert stats.fences == 1
+    assert stats.fences_empty == 0
+    assert stats.flushes == 1
+    assert stats.flushes_clean == 0
+    assert stats.lines_written_back == 1
+
+
+def test_snapshot_includes_overhead_counters():
+    mod = Module("snap", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="sn.c")
+    b = IRBuilder(fn)
+    b.at(1)
+    p = b.palloc(ty.I64)
+    b.store(1, p, line=2)
+    b.flush(p, 8, line=3)
+    b.flush(p, 8, line=4)
+    b.fence(line=5)
+    b.fence(line=6)
+    b.ret(line=7)
+    snap = run_main(mod).stats.snapshot()
+    assert snap["flushes_duplicate"] == 1
+    assert snap["fences_empty"] == 1
+    assert snap["flushes"] == 2
+    assert snap["fences"] == 2

@@ -1,0 +1,150 @@
+"""CLI observability surface: --format json, --trace-out, deepmc profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ir import print_module
+from tests.conftest import build_two_field_module
+
+BUGGY_TEXT = """\
+module "cli_demo" model strict
+
+define void @main() !file "demo.c" {
+entry:
+  %p = palloc i64
+  store i64 1, %p  !loc "demo.c":3
+  ret void  !loc "demo.c":4
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.nvmir"
+    path.write_text(BUGGY_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.nvmir"
+    path.write_text(print_module(build_two_field_module(flush_both=True)))
+    return str(path)
+
+
+class TestCheckJson:
+    def test_json_report_parses_and_carries_warnings(self, buggy_file, capsys):
+        assert main(["check", buggy_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["report"]
+        assert report["module"] == "cli_demo"
+        assert report["model"] == "strict"
+        assert report["count"] == len(report["warnings"]) >= 1
+        w = report["warnings"][0]
+        assert {"rule", "category", "file", "line", "fn",
+                "message", "source"} <= set(w)
+        assert w["file"] == "demo.c" and w["line"] == 3
+        assert payload["timings"]["total_s"] > 0
+        assert payload["metrics"]["checker.warnings"] >= 1
+
+    def test_json_clean_report(self, clean_file, capsys):
+        assert main(["check", clean_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["count"] == 0
+        assert payload["report"]["warnings"] == []
+
+    def test_json_with_dynamic(self, clean_file, capsys):
+        assert main(["check", clean_file, "--dynamic",
+                     "--format", "json"]) == 0
+        json.loads(capsys.readouterr().out)  # stdout stays pure JSON
+
+
+class TestTraceOut:
+    def test_event_log_is_parseable_jsonl(self, buggy_file, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main(["check", buggy_file, "--trace-out", str(out)]) == 1
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all("ts" in e and "event" in e for e in events)
+        names = {e.get("name") for e in events if e["event"] == "span_end"}
+        assert {"check", "verify", "dsa", "traces", "rules"} <= names
+        assert any(e["event"] == "check_report" for e in events)
+
+    def test_run_trace_out_streams_persist_events(self, clean_file, tmp_path,
+                                                  capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(["run", clean_file, "--trace-out", str(out)]) == 0
+        events = [json.loads(l) for l in out.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert "persist.flush" in kinds
+        assert "persist.fence" in kinds
+        assert "vm_run_end" in kinds
+
+    def test_profile_flag_prints_tree_to_stderr(self, buggy_file, capsys):
+        assert main(["check", buggy_file, "--profile"]) == 1
+        captured = capsys.readouterr()
+        assert "check" in captured.err
+        assert "dsa" in captured.err
+        assert "%" in captured.err
+        assert "WARNING" in captured.out  # text report untouched on stdout
+
+
+class TestProfileCommand:
+    def test_prints_phase_tree_with_percentages(self, buggy_file, capsys):
+        assert main(["profile", buggy_file]) == 0
+        out = capsys.readouterr().out
+        for phase in ("profile", "load", "check", "verify", "dsa",
+                      "traces", "rules"):
+            assert phase in out
+        assert "100.0%" in out
+        assert "warnings: 1" in out
+
+    def test_json_phase_tree_sums_to_total(self, buggy_file, capsys):
+        assert main(["profile", buggy_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        root = payload["profile"]
+        assert root["name"] == "profile"
+
+        def check_node(node):
+            kids = node.get("children", [])
+            if kids:
+                child_sum = sum(c["duration_s"] for c in kids)
+                # children can never exceed the parent, and per-phase
+                # times must account for (almost) the whole wall time
+                assert child_sum <= node["duration_s"] + 1e-9
+                assert node["duration_s"] - child_sum < 0.05
+                for c in kids:
+                    check_node(c)
+
+        check_node(root)
+        assert payload["metrics"]["checker.runs"] == 1
+        assert payload["timings"]["total_s"] > 0
+
+    def test_profile_with_vm_run(self, clean_file, capsys):
+        assert main(["profile", clean_file, "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "vm.run" in out
+
+    def test_profile_trace_out(self, buggy_file, tmp_path, capsys):
+        out = tmp_path / "prof.jsonl"
+        assert main(["profile", buggy_file, "--trace-out", str(out)]) == 0
+        events = [json.loads(l) for l in out.read_text().splitlines()]
+        assert any(e["event"] == "span_end" and e["name"] == "profile"
+                   for e in events)
+
+
+class TestCorpusObservability:
+    def test_corpus_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        assert main(["corpus", "--framework", "pmfs",
+                     "--trace-out", str(out)]) == 0
+        events = [json.loads(l) for l in out.read_text().splitlines()]
+        programs = [e for e in events
+                    if e["event"] == "span_end"
+                    and e["name"] == "corpus.program"]
+        assert programs
+        assert all("attr.program" in e for e in programs)
+        assert any(e["event"] == "corpus_detection" for e in events)

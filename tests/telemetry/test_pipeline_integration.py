@@ -1,0 +1,147 @@
+"""Telemetry wired through the real pipeline layers.
+
+These tests attach one Telemetry instance and assert every layer reports
+into it: checker phase spans, DSA census gauges, VM NVMStats mirroring,
+persist-domain event streams, dynamic-checker race counters.
+"""
+
+import json
+
+from repro.checker.engine import StaticChecker
+from repro.dynamic.checker import DynamicChecker
+from repro.ir import IRBuilder, Module, types as ty
+from repro.telemetry import JsonlSink, Telemetry, flatten_spans
+from repro.vm.interpreter import Interpreter
+from tests.conftest import build_two_field_module
+
+
+def spawn_module():
+    """Two threads racing on one persistent cell (for the dynamic path)."""
+    mod = Module("spawny", persistency_model="strand")
+    worker = mod.define_function("worker", ty.VOID,
+                                 [("p", ty.pointer_to(ty.I64))],
+                                 source_file="s.c")
+    wb = IRBuilder(worker)
+    wb.store(7, worker.arg("p"), line=2)
+    wb.ret(line=3)
+    fn = mod.define_function("main", ty.VOID, [], source_file="s.c")
+    b = IRBuilder(fn)
+    b.at(10)
+    p = b.palloc(ty.I64)
+    t = b.spawn("worker", [p], line=11)
+    b.store(1, p, line=12)
+    b.join(t, line=13)
+    b.ret(line=14)
+    return mod
+
+
+class TestCheckerTelemetry:
+    def test_phase_spans_cover_the_pipeline(self, node_module):
+        mod, _ = node_module
+        tel = Telemetry()
+        StaticChecker(mod, telemetry=tel).run()
+        names = {s.name for s in flatten_spans(tel.tracer.roots)}
+        assert {"check", "verify", "dsa", "traces", "rules",
+                "dsa.local", "traces.root"} <= names
+
+    def test_phase_durations_sum_to_check_total(self, node_module):
+        mod, _ = node_module
+        tel = Telemetry()
+        StaticChecker(mod, telemetry=tel).run()
+        (check,) = tel.tracer.roots
+        child_sum = sum(c.duration_s for c in check.children)
+        assert 0 < child_sum <= check.duration_s
+        # the four phases are the whole body of run(): nothing big hides
+        assert check.duration_s - child_sum < 0.05
+
+    def test_metrics_published(self, node_module):
+        mod, _ = node_module
+        tel = Telemetry()
+        checker = StaticChecker(mod, telemetry=tel)
+        report = checker.run()
+        snap = tel.metrics.snapshot()
+        assert snap["checker.runs"] == 1
+        assert snap["checker.traces_checked"] == checker.traces_checked
+        assert snap["checker.warnings"] == len(report)
+        assert snap["dsa.functions"] >= 1
+        assert snap["dsa.nodes"] >= 1
+        assert snap["checker.timings.total_s"] > 0
+
+    def test_timings_match_spans(self, node_module):
+        mod, _ = node_module
+        tel = Telemetry()
+        checker = StaticChecker(mod, telemetry=tel)
+        checker.run()
+        (check,) = tel.tracer.roots
+        assert checker.timings.verify_s == check.child("verify").duration_s
+        assert checker.timings.dsa_s == check.child("dsa").duration_s
+        assert checker.timings.rules_s == check.child("rules").duration_s
+
+    def test_without_telemetry_timings_still_populated(self, node_module):
+        mod, _ = node_module
+        checker = StaticChecker(mod)
+        checker.run()
+        assert checker.timings.total_s > 0
+        assert checker.last_span is not None
+        assert checker.last_span.name == "check"
+
+
+class TestVMTelemetry:
+    def test_nvmstats_mirrored_into_metrics(self):
+        tel = Telemetry()
+        mod = build_two_field_module(flush_both=True)
+        result = Interpreter(mod, telemetry=tel).run("main")
+        snap = tel.metrics.snapshot()
+        assert snap["vm.runs"] == 1
+        assert snap["vm.flushes"] == result.stats.flushes
+        assert snap["vm.fences"] == result.stats.fences
+        assert snap["vm.steps.count"] == 1
+        assert snap["vm.steps.total"] == result.steps
+
+    def test_persist_event_stream(self, tmp_path):
+        path = tmp_path / "vm.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(str(path))])
+        mod = build_two_field_module(flush_both=True)
+        result = Interpreter(mod, telemetry=tel).run("main")
+        tel.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("persist.flush") == result.stats.flushes
+        assert kinds.count("persist.fence") == result.stats.fences
+        assert kinds.count("persist.store") == result.stats.persistent_stores
+        assert kinds[-1] == "vm_run_end"
+        fences = [e for e in events if e["event"] == "persist.fence"]
+        assert all(isinstance(e["drained"], int) for e in fences)
+
+    def test_instruction_stream_opt_in(self, tmp_path):
+        path = tmp_path / "inst.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(str(path))])
+        mod = build_two_field_module()
+        result = Interpreter(mod, telemetry=tel,
+                             trace_instructions=True).run("main")
+        tel.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        insts = [e for e in events if e["event"] == "vm.inst"]
+        assert len(insts) == result.steps
+        assert all(e["fn"] == "main" for e in insts)
+
+    def test_no_telemetry_runs_clean(self):
+        mod = build_two_field_module()
+        result = Interpreter(mod).run("main")
+        assert result.stats.fences == 2
+
+
+class TestDynamicTelemetry:
+    def test_race_metrics_published(self):
+        tel = Telemetry()
+        checker = DynamicChecker(spawn_module(), telemetry=tel)
+        report, runs = checker.run(seeds=(1, 2))
+        snap = tel.metrics.snapshot()
+        assert snap["dynamic.runs"] == 2
+        assert snap["dynamic.races"] == sum(
+            len(r.runtime.races) for r in runs)
+        assert snap["dynamic.events_handled"] > 0
+        assert snap["dynamic.warnings"] == len(report)
+        names = [s.name for s in flatten_spans(tel.tracer.roots)]
+        assert names.count("dynamic.run") == 2
+        assert "dynamic.instrument" in names

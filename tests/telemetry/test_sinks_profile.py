@@ -1,0 +1,118 @@
+"""Sinks (JSONL/logfmt), event schema, and profile-tree rendering."""
+
+import io
+import json
+
+from repro.telemetry import (
+    JsonlSink,
+    LogfmtSink,
+    NullSink,
+    Telemetry,
+    Tracer,
+    logfmt,
+    render_profile_tree,
+)
+
+
+class TestJsonlSink:
+    def test_writes_one_parseable_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(str(path))])
+        tel.event("alpha", n=1)
+        tel.event("beta", s="hi there")
+        tel.close()
+        lines = path.read_text().strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [e["event"] for e in events] == ["alpha", "beta"]
+        assert all("ts" in e for e in events)
+        assert events[0]["n"] == 1
+
+    def test_span_end_events_streamed(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tel = Telemetry(sinks=[JsonlSink(str(path))])
+        with tel.span("outer", module="m"):
+            with tel.span("inner"):
+                pass
+        tel.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        spans = {e["name"]: e for e in events if e["event"] == "span_end"}
+        assert set(spans) == {"outer", "inner"}
+        assert spans["inner"]["depth"] == 1
+        assert spans["outer"]["depth"] == 0
+        assert spans["outer"]["attr.module"] == "m"
+        assert spans["outer"]["duration_s"] >= spans["inner"]["duration_s"]
+
+    def test_accepts_open_file_object(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit({"event": "x", "ts": 1.0})
+        sink.close()  # must not close a caller-owned stream
+        assert json.loads(buf.getvalue()) == {"event": "x", "ts": 1.0}
+
+
+class TestLogfmt:
+    def test_logfmt_format_and_quoting(self):
+        line = logfmt({"event": "e", "ts": 1.5, "msg": "two words", "n": 3})
+        assert line.startswith("event=e ts=1.500000")
+        assert 'msg="two words"' in line
+        assert "n=3" in line
+
+    def test_logfmt_sink_writes_lines(self):
+        buf = io.StringIO()
+        tel = Telemetry(sinks=[LogfmtSink(buf)])
+        tel.event("hello", who="world")
+        tel.close()
+        assert buf.getvalue().startswith("event=hello ")
+        assert "who=world" in buf.getvalue()
+
+    def test_null_sink_swallows(self):
+        tel = Telemetry(sinks=[NullSink()])
+        tel.event("x")
+        tel.close()
+
+
+class TestProfileTree:
+    def _fake_tree(self):
+        """Deterministic span tree via a fake clock."""
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        tracer = Tracer(clock=clock)
+        with tracer.span("check", warnings=2) as root:
+            now[0] = 0.0
+            with tracer.span("dsa"):
+                now[0] = 0.4
+            with tracer.span("traces"):
+                now[0] = 0.9
+            with tracer.span("rules"):
+                now[0] = 1.0
+        return tracer, root
+
+    def test_render_contains_names_times_percentages(self):
+        tracer, _ = self._fake_tree()
+        text = render_profile_tree(tracer.roots)
+        assert "check" in text and "dsa" in text and "rules" in text
+        assert "100.0%" in text       # root is 100% of itself
+        assert "40.0%" in text        # dsa: 0.4 of 1.0
+        assert "[warnings=2]" in text
+
+    def test_children_sum_to_total(self):
+        _, root = self._fake_tree()
+        child_sum = sum(c.duration_s for c in root.children)
+        assert abs(child_sum - root.duration_s) < 1e-9
+
+    def test_empty_forest(self):
+        assert render_profile_tree([]) == "(no spans recorded)"
+
+    def test_unattributed_time_rendered_as_other(self):
+        now = [0.0]
+        tracer = Tracer(clock=lambda: now[0])
+        with tracer.span("root"):
+            with tracer.span("child"):
+                now[0] = 0.5
+            now[0] = 1.0  # 0.5s of root not covered by any child
+        text = render_profile_tree(tracer.roots)
+        assert "(other)" in text
+        assert "50.0%" in text
