@@ -7,6 +7,7 @@ assembled from actual runs.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,10 +17,23 @@ from repro.bench import run_detection
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def bench_detection_kwargs():
+    """Parallelism/cache knobs for detection runs inside benchmarks.
+
+    ``DEEPMC_JOBS`` / ``DEEPMC_BENCH_CACHE_DIR`` parallelize the run and
+    attach the analysis cache — CI uses them to assert that a warm-cache
+    ``--jobs 4`` run reproduces the serial detection matrix.
+    """
+    return {
+        "jobs": int(os.environ.get("DEEPMC_JOBS", "1")),
+        "cache": os.environ.get("DEEPMC_BENCH_CACHE_DIR") or None,
+    }
+
+
 @pytest.fixture(scope="session")
 def detection():
     """One full detection run over the corpus, shared by the table benches."""
-    return run_detection()
+    return run_detection(**bench_detection_kwargs())
 
 
 @pytest.fixture(scope="session")

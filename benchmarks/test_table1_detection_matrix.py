@@ -7,6 +7,8 @@ whole corpus and regenerates the matrix.
 
 from repro.bench import render_table1, run_detection
 
+from conftest import bench_detection_kwargs
+
 PAPER_TOTALS = {
     "pmdk": (23, 26),
     "nvm_direct": (7, 9),
@@ -38,7 +40,8 @@ PAPER_CELLS = {
 
 
 def test_table1_detection_matrix(benchmark, save_result):
-    result = benchmark.pedantic(run_detection, iterations=1, rounds=1)
+    result = benchmark.pedantic(run_detection, iterations=1, rounds=1,
+                                kwargs=bench_detection_kwargs())
 
     assert result.total_warnings == 50
     assert result.total_validated == 43

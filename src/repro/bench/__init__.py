@@ -2,6 +2,7 @@
 
 from .detection import (
     DetectionResult,
+    ProgramError,
     ProgramOutcome,
     render_table1,
     run_detection,
@@ -35,6 +36,7 @@ __all__ = [
     "DetectionResult",
     "FixSpeedup",
     "OverheadPoint",
+    "ProgramError",
     "ProgramOutcome",
     "measure_compile_times",
     "measure_dynamic_overhead",

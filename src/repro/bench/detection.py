@@ -9,12 +9,13 @@ manual validation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..checker.engine import StaticChecker
-from ..checker.report import Warning_
+from ..checker.report import Report, Warning_
 from ..corpus import REGISTRY
 from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry.spans import Span
 from ..corpus.registry import (
     ALL_CLASSES,
     FRAMEWORK_DISPLAY,
@@ -45,10 +46,24 @@ class ProgramOutcome:
 
 
 @dataclass
+class ProgramError:
+    """A corpus program whose check did not complete (worker crash,
+    analysis exception) — recorded instead of losing the whole run."""
+
+    program: str
+    error: str
+
+
+@dataclass
 class DetectionResult:
     """Aggregated outcome across the corpus."""
 
     outcomes: List[ProgramOutcome] = field(default_factory=list)
+    #: programs whose check failed outright (one entry per program)
+    errors: List[ProgramError] = field(default_factory=list)
+    #: analysis-cache traffic of this run (0/0 when no cache attached)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # -- aggregate counters -------------------------------------------------
     @property
@@ -100,6 +115,8 @@ class DetectionResult:
 
 def run_detection(framework: Optional[str] = None,
                   telemetry: Optional[Telemetry] = None,
+                  jobs: int = 1,
+                  cache: Union["AnalysisCache", str, Path, None] = None,
                   **checker_opts) -> DetectionResult:
     """Run the static checker on every (selected) corpus program.
 
@@ -107,33 +124,123 @@ def run_detection(framework: Optional[str] = None,
     trace collector) — e.g. ``field_sensitive=False`` for the ablation.
     ``telemetry`` (optional) gets one ``corpus.program`` span per program
     plus ``corpus.*`` aggregate counters.
+
+    ``jobs > 1`` fans the per-program checks out across worker processes
+    (each program is independent); results come back in registry order,
+    so the outcome list — and everything rendered from it — is identical
+    to a serial run. A crashed or failing worker contributes a
+    :class:`ProgramError` entry instead of aborting the run.
+
+    ``cache`` (an :class:`~repro.parallel.cache.AnalysisCache` or a
+    directory path) makes the run incremental: programs whose printed IR
+    and rule-set version match a cache entry skip analysis entirely.
+    Every program's module is built exactly once per run — the build
+    feeds both the cache key and, on a miss, the checker.
     """
+    from ..parallel.cache import AnalysisCache
+
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    cache_obj: Optional[AnalysisCache]
+    if cache is None or isinstance(cache, AnalysisCache):
+        cache_obj = cache
+    else:
+        cache_obj = AnalysisCache(cache)
+    programs = REGISTRY.programs(framework)
     result = DetectionResult()
-    with tel.span("corpus.detection", framework=framework or "all") as top:
-        for program in REGISTRY.programs(framework):
-            with tel.span("corpus.program", program=program.name,
-                          framework=program.framework) as sp:
-                module = program.build()
-                report = StaticChecker(
-                    module, telemetry=telemetry, **checker_opts).run()
-                sp.set("warnings", len(report))
-            result.outcomes.append(
-                _match_ground_truth(program, report))
+    with tel.span("corpus.detection", framework=framework or "all",
+                  jobs=jobs) as top:
+        if jobs > 1:
+            _run_parallel(programs, jobs, cache_obj, tel, checker_opts,
+                          result)
+        else:
+            _run_serial(programs, cache_obj, telemetry, tel, checker_opts,
+                        result)
         top.set("programs", len(result.outcomes))
         top.set("warnings", result.total_warnings)
+        if result.errors:
+            top.set("errors", len(result.errors))
+        if cache_obj is not None:
+            top.set("cache_hits", result.cache_hits)
+            top.set("cache_misses", result.cache_misses)
     if tel.enabled:
         tel.metrics.counter("corpus.programs").inc(len(result.outcomes))
         tel.metrics.counter("corpus.warnings").inc(result.total_warnings)
         tel.metrics.counter("corpus.validated").inc(result.total_validated)
         tel.metrics.counter("corpus.false_positives").inc(
             result.total_false_positives)
+        if result.errors:
+            tel.metrics.counter("corpus.errors").inc(len(result.errors))
         tel.event("corpus_detection", framework=framework or "all",
                   programs=len(result.outcomes),
                   warnings=result.total_warnings,
                   validated=result.total_validated,
-                  false_positives=result.total_false_positives)
+                  false_positives=result.total_false_positives,
+                  errors=len(result.errors),
+                  cache_hits=result.cache_hits,
+                  cache_misses=result.cache_misses)
     return result
+
+
+def _run_serial(programs: List[CorpusProgram],
+                cache_obj, telemetry: Optional[Telemetry], tel: Telemetry,
+                checker_opts: Dict, result: DetectionResult) -> None:
+    """In-process corpus walk (``jobs=1``): spans nest naturally and
+    events stream straight into the caller's sinks."""
+    from ..parallel.cache import check_with_cache
+
+    for program in programs:
+        try:
+            with tel.span("corpus.program", program=program.name,
+                          framework=program.framework) as sp:
+                module = program.build()
+                checked = check_with_cache(module, cache_obj,
+                                           telemetry=telemetry,
+                                           **checker_opts)
+                sp.set("warnings", len(checked.report))
+                if cache_obj is not None:
+                    sp.set("cache", "hit" if checked.hit else "miss")
+        except Exception as exc:
+            result.errors.append(ProgramError(
+                program.name, f"{type(exc).__name__}: {exc}"))
+            continue
+        if cache_obj is not None:
+            if checked.hit:
+                result.cache_hits += 1
+            else:
+                result.cache_misses += 1
+        result.outcomes.append(_match_ground_truth(program, checked.report))
+
+
+def _run_parallel(programs: List[CorpusProgram], jobs: int,
+                  cache_obj, tel: Telemetry, checker_opts: Dict,
+                  result: DetectionResult) -> None:
+    """Fan the per-program checks out across a process pool, then merge
+    worker spans/metrics back into the parent telemetry."""
+    from ..parallel.executor import check_programs
+
+    payloads = check_programs(
+        [p.name for p in programs],
+        jobs=jobs,
+        cache_dir=str(cache_obj.root) if cache_obj is not None else None,
+        telemetry=tel.enabled,
+        checker_opts=checker_opts,
+    )
+    for program, payload in zip(programs, payloads):
+        if not payload.get("ok"):
+            result.errors.append(ProgramError(
+                program.name, payload.get("error", "worker failed")))
+            continue
+        if payload.get("span"):
+            tel.tracer.adopt(Span.from_dict(payload["span"]))
+        if payload.get("metrics"):
+            tel.metrics.merge(payload["metrics"])
+        hit = payload.get("cache_hit")
+        if hit is True:
+            result.cache_hits += 1
+        elif hit is False:
+            result.cache_misses += 1
+        report = Report.from_dict(payload["report"])
+        result.outcomes.append(_match_ground_truth(program, report))
 
 
 def _match_ground_truth(program: CorpusProgram, report) -> ProgramOutcome:

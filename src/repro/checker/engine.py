@@ -115,6 +115,12 @@ class StaticChecker:
         #: or when the attached tracer is disabled)
         self.last_span = None
 
+    @property
+    def collector(self) -> Optional[TraceCollector]:
+        """The trace collector of the most recent run (carries the DSA
+        result); None before the first run unless one was passed in."""
+        return self._collector
+
     def run(self) -> Report:
         tracer = self._tracer
         timings = CheckTimings()

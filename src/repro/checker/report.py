@@ -54,6 +54,17 @@ class Warning_:
             "source": self.source,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Warning_":
+        """Inverse of :meth:`to_dict` (category/title are derived)."""
+        return cls(
+            rule_id=data["rule"],
+            loc=SourceLoc(data["file"], data["line"], data.get("col", 0)),
+            fn=data.get("fn", ""),
+            message=data.get("message", ""),
+            source=data.get("source", "static"),
+        )
+
 
 class Report:
     """A deduplicated collection of warnings."""
@@ -123,6 +134,14 @@ class Report:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Report":
+        """Inverse of :meth:`to_dict` — how cached and worker-produced
+        reports are rehydrated in the parent process."""
+        report = cls(data.get("module", ""), data.get("model", ""))
+        report.extend(Warning_.from_dict(w) for w in data.get("warnings", ()))
+        return report
 
     def render(self) -> str:
         lines = [

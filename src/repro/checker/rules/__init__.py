@@ -1,8 +1,9 @@
 """Static checking rules (Tables 4 and 5)."""
 
+import hashlib
 from typing import Callable, Dict, List
 
-from ...models import PersistencyModel
+from ...models import ALL_RULES, PersistencyModel
 from .base import CheckContext, TraceRule
 from .performance import (
     EmptyDurableTxRule,
@@ -18,6 +19,30 @@ from .violation import (
     StrictMissingBarrierRule,
     UnflushedWriteRule,
 )
+
+
+#: Bump when rule *behaviour* changes in a way the spec table can't see
+#: (the fingerprint below already tracks spec additions/edits). Part of
+#: every analysis-cache key, so stale cached reports die on upgrade.
+RULESET_REVISION = 1
+
+
+def ruleset_version() -> str:
+    """Content fingerprint of the active rule set.
+
+    Hashes every rule spec (id, title, formal text, category, models)
+    together with :data:`RULESET_REVISION`. Any edit to Table 4/5 specs —
+    or an explicit revision bump for implementation-only changes —
+    changes the fingerprint and invalidates cached analysis results.
+    """
+    h = hashlib.sha256()
+    h.update(f"rev={RULESET_REVISION}".encode())
+    for spec in ALL_RULES:
+        h.update(
+            f"|{spec.rule_id}|{spec.title}|{spec.formal}|{spec.category}"
+            f"|{','.join(spec.models)}|{int(spec.dynamic)}".encode()
+        )
+    return f"{RULESET_REVISION}.{h.hexdigest()[:16]}"
 
 
 def build_rules(model: PersistencyModel) -> List[Callable[[], TraceRule]]:
@@ -53,6 +78,8 @@ def build_rules(model: PersistencyModel) -> List[Callable[[], TraceRule]]:
 
 __all__ = [
     "CheckContext",
+    "RULESET_REVISION",
+    "ruleset_version",
     "EmptyDurableTxRule",
     "EpochBarrierRule",
     "FlushUnmodifiedRule",

@@ -7,9 +7,12 @@ Subcommands::
 
     deepmc check FILE.nvmir [--model strict|epoch|strand] [--dynamic]
                  [--format text|json] [--profile] [--trace-out EVENTS.jsonl]
+                 [--cache | --cache-dir DIR]
     deepmc profile FILE.nvmir [--run] [--format text|json]
     deepmc run FILE.nvmir [--entry main] [--arg N ...]
     deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
+                  [--jobs N] [--cache | --cache-dir DIR]
+    deepmc cache {stats,clear} [--cache-dir DIR]
     deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
 """
 
@@ -58,11 +61,29 @@ def _telemetry_for(args: argparse.Namespace) -> Optional[Telemetry]:
     return Telemetry(sinks=sinks)
 
 
+def _cache_for(args: argparse.Namespace):
+    """Resolve the --cache/--cache-dir flags to an AnalysisCache (or
+    None when caching was not requested)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir and not getattr(args, "cache", False):
+        return None
+    from .parallel import AnalysisCache
+
+    return AnalysisCache(cache_dir) if cache_dir else AnalysisCache()
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    from .parallel import check_with_cache
+
     tel = _telemetry_for(args)
+    cache = _cache_for(args)
     module = _load_module(args.file)
-    checker = StaticChecker(module, model=args.model, telemetry=tel)
-    report = checker.run()
+    checked = check_with_cache(module, cache, model=args.model, telemetry=tel)
+    report = checked.report
+    if cache is not None:
+        print(f"deepmc: analysis cache "
+              f"{'hit' if checked.hit else 'miss'} ({cache.root})",
+              file=sys.stderr)
     if args.dynamic:
         dyn = DynamicChecker(module, model=args.model, telemetry=tel)
         dyn_report, _runs = dyn.run(entry=args.entry)
@@ -77,10 +98,12 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.format == "json":
         payload = {
             "report": report.to_dict(),
-            "timings": checker.timings.as_dict(),
-            "traces_checked": checker.traces_checked,
+            "timings": checked.timings,
+            "traces_checked": checked.traces_checked,
             "suppressed": len(suppressed),
         }
+        if cache is not None:
+            payload["cache"] = {"hit": checked.hit, "key": checked.key}
         if tel is not None:
             payload["metrics"] = tel.metrics.snapshot()
         print(json.dumps(payload, indent=2))
@@ -154,7 +177,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     from .bench.detection import render_table1, run_detection
 
     tel = _telemetry_for(args)
-    result = run_detection(framework=args.framework, telemetry=tel)
+    cache = _cache_for(args)
+    result = run_detection(framework=args.framework, telemetry=tel,
+                           jobs=args.jobs, cache=cache)
     print(render_table1(result))
     print()
     print(
@@ -163,16 +188,48 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         f"false positives: {result.total_false_positives} "
         f"({result.false_positive_rate:.0%})"
     )
+    if cache is not None:
+        # stderr: cold vs warm runs must stay byte-identical on stdout
+        print(f"deepmc: cache {result.cache_hits} hit(s), "
+              f"{result.cache_misses} miss(es) ({cache.root})",
+              file=sys.stderr)
     if getattr(args, "profile", False) and tel is not None:
         print(tel.profile(), file=sys.stderr)
     if tel is not None:
         tel.close()
+    status = 0
+    if result.errors:
+        print(f"FAILED to check {len(result.errors)} program(s):",
+              file=sys.stderr)
+        for err in result.errors:
+            first_line = err.error.strip().splitlines()[-1]
+            print(f"  {err.program}: {first_line}", file=sys.stderr)
+        status = 1
     missed = result.missed()
     if missed:
         print(f"MISSED {len(missed)} ground-truth bugs:")
         for b in missed:
             print(f"  {b.bug_id}")
-        return 1
+        status = 1
+    return status
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .parallel import AnalysisCache
+
+    cache = AnalysisCache(args.cache_dir) if args.cache_dir else AnalysisCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.format == "json":
+            print(json.dumps(stats.as_dict(), indent=2))
+        else:
+            print(f"cache directory: {stats.root}")
+            print(f"entries:         {stats.entries}")
+            print(f"total size:      {stats.total_bytes} bytes")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache.root}")
     return 0
 
 
@@ -226,6 +283,15 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cache", action="store_true",
+                   help="reuse analysis results from the default cache "
+                        "directory ($DEEPMC_CACHE_DIR or ~/.cache/deepmc)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="reuse analysis results from (and store them in) "
+                        "this cache directory")
+
+
 def _add_observability_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--profile", action="store_true",
                    help="print the span profile tree to stderr")
@@ -255,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="filter warnings through a suppression database")
     p.add_argument("--suggest-fixes", action="store_true",
                    help="print a repair suggestion for each warning")
+    _add_cache_flags(p)
     _add_observability_flags(p)
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (json is machine-readable)")
@@ -294,8 +361,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--framework",
                    choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
                    default=None)
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="check programs on N worker processes "
+                        "(default: 1, serial)")
+    _add_cache_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed analysis cache",
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default: $DEEPMC_CACHE_DIR or "
+                        "~/.cache/deepmc)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "learn-suppressions",

@@ -156,6 +156,20 @@ class CorpusProgram:
     entry: str = "main"
     description: str = ""
 
+    def __post_init__(self) -> None:
+        # Every build starts from a clean label counter so the module's
+        # printed IR — the analysis cache's content address — is the same
+        # whether the program is built first, last, or in a pool worker.
+        inner = self.build
+
+        def _deterministic_build(*args, **kwargs) -> Module:
+            from .util import reset_label_ids
+
+            reset_label_ids()
+            return inner(*args, **kwargs)
+
+        self.build = _deterministic_build
+
     @property
     def model(self) -> str:
         return FRAMEWORK_MODEL[self.framework]

@@ -11,6 +11,20 @@ from ..ir.values import Value
 _loop_ids = itertools.count(1)
 
 
+def reset_label_ids() -> None:
+    """Restart the shared loop/if label counter.
+
+    Block labels minted here (``loop3.cond``, ``if7.then``, …) otherwise
+    depend on how many control-flow helpers ran earlier in the process,
+    which would make a program's *printed IR* — the analysis cache's
+    content address — vary with build order. The corpus registry calls
+    this before every ``build()`` so each program serializes identically
+    whether it is built alone, serially, or inside a pool worker.
+    """
+    global _loop_ids
+    _loop_ids = itertools.count(1)
+
+
 def counted_loop(b: IRBuilder, count, body: Callable[[IRBuilder, Value], None],
                  line: Optional[int] = None) -> None:
     """Emit ``for (i = 0; i < count; i++) body(i)``.

@@ -1,0 +1,36 @@
+"""Parallel and incremental corpus checking.
+
+Two cooperating pieces make repeated corpus runs cheap:
+
+* :mod:`~repro.parallel.executor` — a process-pool executor that fans
+  independent per-program static checks out across workers
+  (``deepmc corpus --jobs N``), merging worker spans and metrics back
+  into the parent telemetry;
+* :mod:`~repro.parallel.cache` — a content-addressed on-disk cache of
+  analysis results keyed by printed IR + rule-set version, so unchanged
+  programs are never re-analyzed (``deepmc cache stats|clear``).
+
+See docs/ARCHITECTURE.md for where this sits in the pipeline.
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    AnalysisCache,
+    CachedCheck,
+    CacheStats,
+    cache_key,
+    check_with_cache,
+    default_cache_dir,
+)
+from .executor import check_programs
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "AnalysisCache",
+    "CacheStats",
+    "CachedCheck",
+    "cache_key",
+    "check_programs",
+    "check_with_cache",
+    "default_cache_dir",
+]

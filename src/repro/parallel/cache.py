@@ -1,0 +1,259 @@
+"""Content-addressed on-disk cache for static analysis results.
+
+The static pipeline (verify → DSA → traces → rules) is a pure function of
+the module's IR and the active rule set, so its outputs are cacheable by
+content address: the cache key is a SHA-256 over the module's *printed*
+IR, the persistency model actually checked, the rule-set version
+fingerprint, and any checker options that change the analysis (the
+ablation flags). A hit rehydrates the serialized report plus the DSA and
+trace summaries; a miss runs the checker and stores them.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON file per entry,
+written atomically (temp file + rename) so concurrent pool workers can
+share one cache directory without locking: the worst case is two workers
+computing the same entry and one rename winning, which is still correct.
+
+The default root is ``$DEEPMC_CACHE_DIR``, else ``$XDG_CACHE_HOME/deepmc``,
+else ``~/.cache/deepmc``; ``--cache-dir`` overrides per invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..checker.engine import StaticChecker
+from ..checker.report import Report
+from ..checker.rules import ruleset_version
+from ..ir.module import Module
+from ..ir.printer import print_module
+from ..telemetry import Telemetry
+
+#: Bump on any incompatible change to the entry payload shape.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root from the environment."""
+    env = os.environ.get("DEEPMC_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "deepmc"
+
+
+def cache_key(module: Module, model: str,
+              checker_opts: Optional[Dict[str, Any]] = None,
+              ruleset: Optional[str] = None) -> str:
+    """Content address of one analysis: printed IR + model + rules + opts."""
+    h = hashlib.sha256()
+    h.update(print_module(module).encode())
+    h.update(b"\x00model=" + model.encode())
+    h.update(b"\x00ruleset=" + (ruleset or ruleset_version()).encode())
+    if checker_opts:
+        canonical = json.dumps(checker_opts, sort_keys=True, default=repr)
+        h.update(b"\x00opts=" + canonical.encode())
+    h.update(f"\x00format={CACHE_FORMAT_VERSION}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Aggregate view of one cache directory (``deepmc cache stats``)."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"root": self.root, "entries": self.entries,
+                "total_bytes": self.total_bytes}
+
+
+class AnalysisCache:
+    """One content-addressed cache directory."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- addressing ---------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- raw entry access ---------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load one entry; any unreadable/corrupt/mismatched file is a
+        miss (the entry will simply be recomputed and rewritten)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if payload.get("format") != CACHE_FORMAT_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically write one entry (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(payload)
+        payload["format"] = CACHE_FORMAT_VERSION
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance --------------------------------------------------------
+    def _entry_files(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total = 0
+        for path in self._entry_files():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(str(self.root), entries, total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+@dataclass
+class CachedCheck:
+    """Outcome of :func:`check_with_cache` — a report plus provenance."""
+
+    report: Report
+    timings: Dict[str, float]
+    traces_checked: int
+    hit: bool
+    key: str
+    #: DSA graph census of the (possibly cached) run
+    dsa: Dict[str, int]
+    #: number of analysis roots whose traces were checked
+    roots: int
+
+    @property
+    def source(self) -> str:
+        return "cache" if self.hit else "checker"
+
+
+def check_with_cache(
+    module: Module,
+    cache: Optional[AnalysisCache],
+    model: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+    **checker_opts: Any,
+) -> CachedCheck:
+    """Run the static checker through the cache.
+
+    With ``cache=None`` this is exactly ``StaticChecker(...).run()`` plus
+    the provenance wrapper. With a cache, a hit skips verify/DSA/traces/
+    rules entirely and rehydrates the stored report; hit/miss counters
+    land in the telemetry metrics registry as ``cache.hits``/
+    ``cache.misses``.
+    """
+    checker = StaticChecker(module, model=model, telemetry=telemetry,
+                            **checker_opts)
+    model_name = checker.model.name
+    if cache is None:
+        report = checker.run()
+        return CachedCheck(
+            report=report,
+            timings=checker.timings.as_dict(),
+            traces_checked=checker.traces_checked,
+            hit=False,
+            key="",
+            dsa=_dsa_stats(checker),
+            roots=_root_count(checker),
+        )
+
+    key = cache_key(module, model_name, checker_opts or None)
+    entry = cache.get(key)
+    if entry is not None:
+        if telemetry is not None:
+            telemetry.metrics.counter("cache.hits").inc()
+            telemetry.event("cache_hit", module=module.name, key=key)
+        return CachedCheck(
+            report=Report.from_dict(entry["report"]),
+            timings=dict(entry.get("timings", {})),
+            traces_checked=int(entry.get("traces_checked", 0)),
+            hit=True,
+            key=key,
+            dsa=dict(entry.get("dsa", {})),
+            roots=int(entry.get("roots", 0)),
+        )
+
+    report = checker.run()
+    if telemetry is not None:
+        telemetry.metrics.counter("cache.misses").inc()
+    dsa = _dsa_stats(checker)
+    roots = _root_count(checker)
+    cache.put(key, {
+        "created_at": time.time(),
+        "module": module.name,
+        "model": model_name,
+        "ruleset": ruleset_version(),
+        "report": report.to_dict(),
+        "timings": checker.timings.as_dict(),
+        "traces_checked": checker.traces_checked,
+        "dsa": dsa,
+        "roots": roots,
+    })
+    return CachedCheck(
+        report=report,
+        timings=checker.timings.as_dict(),
+        traces_checked=checker.traces_checked,
+        hit=False,
+        key=key,
+        dsa=dsa,
+        roots=roots,
+    )
+
+
+def _dsa_stats(checker: StaticChecker) -> Dict[str, int]:
+    collector = checker.collector
+    if collector is None:
+        return {}
+    return collector.dsa.stats()
+
+
+def _root_count(checker: StaticChecker) -> int:
+    span = checker.last_span
+    if span is not None:
+        traces = span.child("traces")
+        if traces is not None and "roots" in traces.attrs:
+            return int(traces.attrs["roots"])
+    return 0

@@ -1,0 +1,127 @@
+"""Process-pool execution of per-program static checks.
+
+Every corpus program is an independent unit of work — its module is built
+from the registry, checked, and matched against ground truth with no
+shared mutable state — so the corpus walk fans out across worker
+processes. Workers run the same cached check the serial path runs
+(:func:`repro.parallel.cache.check_with_cache`) and ship back a plain
+JSON-able payload: the serialized report, the per-phase timings, their
+``corpus.program`` span tree, and their metrics dump. The parent grafts
+worker spans into its own trace (``Tracer.adopt``) and folds worker
+metrics into its registry (``MetricsRegistry.merge``), so ``deepmc
+corpus --jobs 8 --profile`` still renders one coherent tree.
+
+Failure isolation: an exception inside a worker — or a worker process
+dying hard enough to break the pool — produces a per-program error
+payload, never a lost run. Results always come back in submission order,
+so parallel runs are deterministic and byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from ..telemetry import Telemetry
+from .cache import AnalysisCache, check_with_cache
+
+
+def _check_program_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: check one corpus program by name.
+
+    Module-level (picklable) and self-contained: it re-imports the corpus
+    registry, so it works under any multiprocessing start method, not
+    just fork.
+    """
+    name = task["name"]
+    try:
+        from ..corpus import REGISTRY
+
+        program = REGISTRY.program(name)
+        tel = Telemetry() if task.get("telemetry") else None
+        cache_dir = task.get("cache_dir")
+        cache = AnalysisCache(cache_dir) if cache_dir else None
+        checker_opts = task.get("checker_opts") or {}
+
+        span_obj = None
+        if tel is not None:
+            with tel.span("corpus.program", program=program.name,
+                          framework=program.framework) as sp:
+                module = program.build()
+                checked = check_with_cache(module, cache, telemetry=tel,
+                                           **checker_opts)
+                sp.set("warnings", len(checked.report))
+                sp.set("cache", "hit" if checked.hit else
+                       ("miss" if cache is not None else "off"))
+            span_obj = sp.to_dict()
+        else:
+            module = program.build()
+            checked = check_with_cache(module, cache, telemetry=None,
+                                       **checker_opts)
+
+        return {
+            "name": name,
+            "ok": True,
+            "report": checked.report.to_dict(),
+            "timings": checked.timings,
+            "traces_checked": checked.traces_checked,
+            "cache_hit": checked.hit if cache is not None else None,
+            "span": span_obj,
+            "metrics": tel.metrics.dump() if tel is not None else None,
+        }
+    except Exception:
+        return {"name": name, "ok": False, "error": traceback.format_exc()}
+
+
+def _pool_context():
+    """Prefer fork where available: it is the cheapest start method and
+    inherits the already-populated corpus registry."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def check_programs(
+    names: List[str],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    telemetry: bool = False,
+    checker_opts: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Check the named corpus programs, fanning out across ``jobs``
+    worker processes; returns one payload per program, in input order.
+
+    ``jobs <= 1`` runs the identical task function in-process (no pool),
+    which keeps the serial and parallel paths byte-for-byte comparable.
+    """
+    tasks = [
+        {
+            "name": name,
+            "telemetry": telemetry,
+            "cache_dir": str(cache_dir) if cache_dir else None,
+            "checker_opts": dict(checker_opts or {}),
+        }
+        for name in names
+    ]
+    if jobs <= 1:
+        return [_check_program_task(task) for task in tasks]
+
+    results: List[Dict[str, Any]] = []
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=_pool_context()) as pool:
+        futures = [pool.submit(_check_program_task, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                # The worker died without returning (hard crash, broken
+                # pool, unpicklable payload): degrade to an error entry.
+                results.append({
+                    "name": task["name"],
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+    return results

@@ -124,6 +124,51 @@ class MetricsRegistry:
         for key, value in values.items():
             self.gauge(f"{prefix}.{key}").set(value)
 
+    def dump(self) -> Dict[str, Dict]:
+        """Structured (per-kind) view of every instrument.
+
+        Unlike :meth:`snapshot`, which flattens everything into one dict
+        for reports, ``dump()`` keeps counters, gauges, and histograms
+        apart so another registry can :meth:`merge` them with the right
+        semantics. The payload is plain JSON-serializable data — it is
+        what pool workers ship back to the parent process.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: {"count": h.count, "total": h.total,
+                        "min": h.min, "max": h.max}
+                    for n, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, dump: Mapping[str, Mapping]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching their snapshot semantics), histograms combine their
+        summaries.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in dump.get("histograms", {}).items():
+            h = self.histogram(name)
+            count = summary.get("count", 0)
+            if not count:
+                continue
+            if h.count == 0:
+                h.min = summary["min"]
+                h.max = summary["max"]
+            else:
+                h.min = min(h.min, summary["min"])
+                h.max = max(h.max, summary["max"])
+            h.count += count
+            h.total += summary.get("total", 0)
+
     def snapshot(self) -> Dict[str, Number]:
         """Flat dict of every instrument; histograms expand to
         ``name.count/.total/.min/.max/.mean``."""

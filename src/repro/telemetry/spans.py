@@ -76,6 +76,27 @@ class Span:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a finished span (sub)tree from its ``to_dict`` form.
+
+        Used to graft spans recorded in a worker process back into the
+        parent's trace: only durations survive serialization, so children
+        are laid out back-to-back from the parent's start.
+        """
+        span = cls(str(data.get("name", "")), dict(data.get("attrs") or {}),
+                   NULL_TRACER)
+        span.start_s = 0.0
+        span.end_s = float(data.get("duration_s", 0.0))
+        offset = 0.0
+        for child_data in data.get("children", ()):  # type: Dict[str, Any]
+            child = cls.from_dict(child_data)
+            child.start_s += offset
+            child.end_s += offset
+            offset = child.end_s
+            span.children.append(child)
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms)"
 
@@ -163,6 +184,23 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self.roots.clear()
+
+    def adopt(self, span: Span) -> None:
+        """Graft an already-finished span tree into the live trace.
+
+        The span becomes a child of the calling thread's innermost open
+        span (or a new root if none is open). This is how per-program
+        spans recorded by pool workers re-enter the parent's profile so
+        ``deepmc profile`` still shows one coherent tree.
+        """
+        if not self.enabled:
+            return
+        current = self.current()
+        if current is not None:
+            current.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
 
     # -- stack management (called by Span.__enter__/__exit__) ---------------
     def _stack(self) -> List[Span]:

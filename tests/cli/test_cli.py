@@ -80,6 +80,74 @@ class TestCorpusCommand:
         assert "9/11" in out
 
 
+class TestCorpusParallelAndCache:
+    def test_jobs_stdout_matches_serial(self, capsys):
+        assert main(["corpus", "--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["corpus", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_warm_cache_stdout_identical_and_hits_on_stderr(
+            self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["corpus", "--cache-dir", cache]) == 0
+        cold = capsys.readouterr()
+        assert "18 miss(es)" in cold.err
+        assert main(["corpus", "--cache-dir", cache, "--jobs", "4"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "18 hit(s)" in warm.err
+
+
+class TestCheckCache:
+    def test_check_miss_then_hit(self, buggy_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["check", buggy_file, "--cache-dir", cache]) == 1
+        assert "cache miss" in capsys.readouterr().err
+        assert main(["check", buggy_file, "--cache-dir", cache]) == 1
+        captured = capsys.readouterr()
+        assert "cache hit" in captured.err
+        assert "demo.c:3" in captured.out
+
+    def test_check_json_carries_cache_provenance(
+            self, buggy_file, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        main(["check", buggy_file, "--cache-dir", cache, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hit"] is False
+        main(["check", buggy_file, "--cache-dir", cache, "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hit"] is True
+        assert payload["cache"]["key"]
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, buggy_file, tmp_path, capsys):
+        def stats_line():
+            assert main(["cache", "stats", "--cache-dir", cache]) == 0
+            return " ".join(capsys.readouterr().out.split())
+
+        cache = str(tmp_path / "cache")
+        assert "entries: 0" in stats_line()
+        main(["check", buggy_file, "--cache-dir", cache])
+        capsys.readouterr()
+        assert "entries: 1" in stats_line()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert "entries: 0" in stats_line()
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 0
+
+
 class TestTableCommands:
     @pytest.mark.parametrize("which,needle", [
         ("2", "Total"),

@@ -1,0 +1,131 @@
+"""Analysis-cache correctness: content addressing, invalidation, admin."""
+
+import json
+
+import pytest
+
+from repro.checker.rules import ruleset_version
+from repro.ir import print_module
+from repro.parallel import (
+    AnalysisCache,
+    cache_key,
+    check_with_cache,
+    default_cache_dir,
+)
+from tests.conftest import build_two_field_module
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AnalysisCache(tmp_path / "cache")
+
+
+class TestCacheKey:
+    def test_stable_for_identical_ir(self):
+        m1 = build_two_field_module()
+        m2 = build_two_field_module()
+        assert print_module(m1) == print_module(m2)
+        assert cache_key(m1, "strict") == cache_key(m2, "strict")
+
+    def test_changes_with_edited_ir(self):
+        buggy = build_two_field_module(flush_both=False)
+        fixed = build_two_field_module(flush_both=True)
+        assert cache_key(buggy, "strict") != cache_key(fixed, "strict")
+
+    def test_changes_with_model(self):
+        m = build_two_field_module()
+        assert cache_key(m, "strict") != cache_key(m, "epoch")
+
+    def test_changes_with_ruleset_version(self):
+        m = build_two_field_module()
+        assert cache_key(m, "strict", ruleset="1.aaaa") != \
+            cache_key(m, "strict", ruleset="2.bbbb")
+
+    def test_changes_with_checker_opts(self):
+        m = build_two_field_module()
+        assert cache_key(m, "strict", {"field_sensitive": False}) != \
+            cache_key(m, "strict")
+
+    def test_ruleset_version_is_deterministic(self):
+        assert ruleset_version() == ruleset_version()
+        assert "." in ruleset_version()
+
+
+class TestCheckWithCache:
+    def test_miss_then_hit_same_report(self, cache):
+        m1 = build_two_field_module()
+        first = check_with_cache(m1, cache)
+        assert not first.hit
+        second = check_with_cache(build_two_field_module(), cache)
+        assert second.hit
+        assert second.report.to_dict() == first.report.to_dict()
+        assert second.traces_checked == first.traces_checked
+        assert second.dsa == first.dsa
+
+    def test_edited_ir_misses(self, cache):
+        check_with_cache(build_two_field_module(flush_both=False), cache)
+        fixed = check_with_cache(
+            build_two_field_module(flush_both=True), cache)
+        assert not fixed.hit
+        assert len(fixed.report) == 0
+
+    def test_bumped_ruleset_misses(self, cache, monkeypatch):
+        check_with_cache(build_two_field_module(), cache)
+        monkeypatch.setattr("repro.checker.rules.RULESET_REVISION", 999)
+        again = check_with_cache(build_two_field_module(), cache)
+        assert not again.hit
+
+    def test_no_cache_still_checks(self):
+        checked = check_with_cache(build_two_field_module(), None)
+        assert not checked.hit
+        assert checked.key == ""
+        assert checked.dsa["functions"] >= 1
+
+    def test_hit_and_miss_counters(self, cache):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        check_with_cache(build_two_field_module(), cache, telemetry=tel)
+        check_with_cache(build_two_field_module(), cache, telemetry=tel)
+        snap = tel.metrics.snapshot()
+        assert snap["cache.misses"] == 1
+        assert snap["cache.hits"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        first = check_with_cache(build_two_field_module(), cache)
+        path = cache._path(first.key)
+        path.write_text("{not json")
+        again = check_with_cache(build_two_field_module(), cache)
+        assert not again.hit
+        # ...and the entry was rewritten
+        assert json.loads(path.read_text())["module"]
+
+    def test_foreign_format_is_a_miss(self, cache):
+        first = check_with_cache(build_two_field_module(), cache)
+        path = cache._path(first.key)
+        payload = json.loads(path.read_text())
+        payload["format"] = 999
+        path.write_text(json.dumps(payload))
+        assert not check_with_cache(build_two_field_module(), cache).hit
+
+
+class TestCacheAdmin:
+    def test_stats_and_clear(self, cache):
+        assert cache.stats().entries == 0
+        check_with_cache(build_two_field_module(flush_both=False), cache)
+        check_with_cache(build_two_field_module(flush_both=True), cache)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+        # post-clear runs recompute (miss) and repopulate
+        assert not check_with_cache(build_two_field_module(), cache).hit
+        assert cache.stats().entries == 1
+
+    def test_default_dir_respects_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("DEEPMC_CACHE_DIR", str(tmp_path / "envcache"))
+        assert default_cache_dir() == tmp_path / "envcache"
+        monkeypatch.delenv("DEEPMC_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "deepmc"
