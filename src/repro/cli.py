@@ -12,6 +12,8 @@ Subcommands::
     deepmc run FILE.nvmir [--entry main] [--arg N ...]
     deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
                   [--jobs N] [--cache | --cache-dir DIR]
+    deepmc crashsim [PROGRAM ...] [--fixed] [--max-states N] [--jobs N]
+                    [--format text|json]
     deepmc cache {stats,clear} [--cache-dir DIR]
     deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
 """
@@ -214,6 +216,47 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_crashsim(args: argparse.Namespace) -> int:
+    from .corpus import REGISTRY
+    from .crashsim import render_results, results_payload, simulate_programs
+
+    if args.programs:
+        names = list(args.programs)
+        for name in names:
+            REGISTRY.program(name)  # unknown names fail fast (CorpusError)
+    else:
+        names = [p.name for p in REGISTRY.programs(framework=args.framework)
+                 if p.oracle is not None]
+    tel = _telemetry_for(args)
+    payloads = simulate_programs(
+        names,
+        fixed=args.fixed,
+        jobs=args.jobs,
+        max_states=args.max_states,
+        telemetry=tel,
+    )
+    # stdout carries only deterministic content (counts, image indices,
+    # coordinates) so --jobs N output is byte-identical to serial;
+    # profile/metrics go to stderr like the corpus command's cache line
+    if args.format == "json":
+        print(json.dumps(results_payload(payloads), indent=2))
+    else:
+        print(render_results(payloads))
+    if getattr(args, "profile", False) and tel is not None:
+        print(tel.profile(), file=sys.stderr)
+    if tel is not None:
+        tel.close()
+    if any(not p.get("ok") for p in payloads):
+        for p in payloads:
+            if not p.get("ok"):
+                last = p["error"].strip().splitlines()[-1]
+                print(f"deepmc: crashsim failed for {p['name']}: {last}",
+                      file=sys.stderr)
+        return 2
+    failing = sum(len(p["result"]["failing"]) for p in payloads)
+    return 1 if failing else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .parallel import AnalysisCache
 
@@ -367,6 +410,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "crashsim",
+        help="enumerate crash images for corpus programs and validate "
+             "their recovery oracles",
+    )
+    p.add_argument("programs", nargs="*", metavar="PROGRAM",
+                   help="corpus program names (default: every program "
+                        "with a registered oracle)")
+    p.add_argument("--framework",
+                   choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
+                   default=None,
+                   help="restrict the default program set to one framework")
+    p.add_argument("--fixed", action="store_true",
+                   help="simulate the patched variants (expected: zero "
+                        "failing images)")
+    p.add_argument("--max-states", type=int, default=4096, metavar="N",
+                   help="global budget of crash images per program "
+                        "(default: 4096)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="simulate programs on N worker processes "
+                        "(default: 1, serial)")
+    _add_observability_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is machine-readable and "
+                        "schema-stable)")
+    p.set_defaults(func=cmd_crashsim)
 
     p = sub.add_parser(
         "cache",

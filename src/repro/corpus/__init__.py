@@ -30,6 +30,9 @@ from . import pmfs_programs  # noqa: E402,F401
 from . import nvmdirect_programs  # noqa: E402,F401
 from . import mnemosyne_programs  # noqa: E402,F401
 
+# Attach crashsim recovery oracles to the registered programs.
+from . import oracles  # noqa: E402,F401
+
 
 def expected_warning_keys(program: CorpusProgram) -> Set[Tuple[str, str, int]]:
     """The exact (rule, file, line) set the checker must report."""

@@ -1,0 +1,214 @@
+"""Crashsim recovery oracles for the corpus programs.
+
+Each oracle states the durable-consistency contract a program's data
+structure must satisfy in *every* crash image (after recovery has run):
+the WITCHER-style output check that turns a static warning into a
+"validated by crash image #k" verdict. Invariants carry the ``file:line``
+of the corpus bug they validate; ``deepmc crashsim`` correlates a failing
+invariant with the static checker's warning at the same coordinates.
+
+Attached here — after the program modules have populated the registry —
+so :mod:`repro.corpus.registry` stays free of crashsim imports and the
+programs' ground-truth warning sets are untouched (an oracle is pure
+metadata; it adds no IR, so cached analyses and warning counts are
+unaffected).
+
+Notes on coverage (docs/CORPUS.md has the full table):
+
+* the PMDK mismatch-pair programs (hashmap, hashmap_atomic, pmemlog)
+  share one contract: the two fields a creation/update must set
+  atomically are either both at their initial value or both at their
+  final value — any half-updated image is the Figure 1 corruption;
+* ``hashmap_atomic.c:496`` is the registry's false positive (two fields
+  updated in *intentionally* separate atomic sections) and deliberately
+  gets no invariant: crashsim finding no failing image for it is the
+  expected outcome;
+* ``pmfs_symlink``'s missing barrier (symlink.c:38) is annotated but not
+  validatable: the outer transaction's undo log always rolls the
+  ``i_size`` update back, so every bad window classifies as *recovered*,
+  never corrupted — the honest verdict for a bug whose consequence is a
+  lost (journaled) update rather than silent corruption;
+* ``mnemosyne_phlog`` gets a sanity oracle only: its fixed variant relies
+  on the epoch boundary, so intra-epoch partial states are legal in both
+  variants and no invariant separates them.
+"""
+
+from __future__ import annotations
+
+from ..crashsim.oracle import Invariant, Oracle
+from ..vm.crash import CrashState
+from .registry import REGISTRY
+
+
+def _pair(type_name: str, index: int, field_a: str, field_b: str,
+          file: str, line: int, what: str) -> Invariant:
+    """The mismatch-pair contract: ``field_a``/``field_b`` of the
+    ``index``-th object of ``type_name`` are written 1 resp. 2 by one
+    logical operation — a durable image must hold both or neither."""
+
+    def check(state: CrashState) -> bool:
+        objs = state.objects_of_type(type_name)
+        if index >= len(objs) or not objs[index].durable:
+            return True  # image predates the allocation
+        o = objs[index]
+        return (o.read_field(field_a), o.read_field(field_b)) in {
+            (0, 0), (1, 2)}
+
+    return Invariant(
+        description=f"{what}: {field_a}/{field_b} updated atomically",
+        check=check,
+        validates=((file, line),),
+    )
+
+
+def _oracle(name: str, *invariants: Invariant) -> None:
+    REGISTRY.program(name).oracle = Oracle(invariants=tuple(invariants))
+
+
+# -- PMDK -------------------------------------------------------------------
+
+_oracle(
+    "pmdk_hashmap",
+    _pair("hashmap_root", 0, "seed", "nbuckets", "hash_map.c", 120,
+          "hm_create"),
+    _pair("hashmap_root", 1, "capacity", "count", "hash_map.c", 264,
+          "hm_rebuild"),
+)
+
+_oracle(
+    "pmdk_hashmap_atomic",
+    _pair("hashmap_atomic_root", 0, "capacity", "nbuckets",
+          "hashmap_atomic.c", 120, "hm_atomic_create"),
+    _pair("hashmap_atomic_root", 1, "capacity", "count",
+          "hashmap_atomic.c", 264, "hm_atomic_update"),
+    # the third root (hm_atomic_set_stats, line 496) is the intentional
+    # false positive: no invariant, so crashsim reports no failing image
+)
+
+_oracle(
+    "pmdk_obj_pmemlog",
+    _pair("pmdk_obj_pmemlog_hdr", 0, "write_offset", "length",
+          "obj_pmemlog.c", 91, "pmemlog_append"),
+)
+
+_oracle(
+    "pmdk_obj_pmemlog_simple",
+    _pair("pmdk_obj_pmemlog_simple_hdr", 0, "write_offset", "length",
+          "obj_pmemlog_simple.c", 207, "pmemlog_append"),
+)
+
+
+def _btree_split_atomic(state: CrashState) -> bool:
+    # btree_map_create_split_node sets n=2 and items[3]=7 inside one
+    # transaction; an image with the new count but without the item is the
+    # unlogged-write corruption (items[3] sits at offset 64+3*8 = 88).
+    for o in state.objects_of_type("tree_map_node"):
+        if not o.durable:
+            continue
+        if o.read_field("n") == 2 and o.read_int(88) != 7:
+            return False
+    return True
+
+
+_oracle(
+    "pmdk_btree_map",
+    Invariant(
+        description="split node: item array updated with the count",
+        check=_btree_split_atomic,
+        validates=(("btree_map.c", 201),),
+    ),
+)
+
+
+# -- NVM-Direct -------------------------------------------------------------
+
+def _lock_level_persisted(state: CrashState) -> bool:
+    # Figure 9: once a lock record reaches state 2 (granted) durably, its
+    # new_level must be durable too — the missing flush at 932 loses it.
+    for o in state.objects_of_type("nvm_lkrec"):
+        if not o.durable:
+            continue
+        if o.read_field("state") == 2 and o.read_field("new_level") != 5:
+            return False
+    return True
+
+
+_oracle(
+    "nvmdirect_locks",
+    Invariant(
+        description="granted lock record carries its new_level",
+        check=_lock_level_persisted,
+        validates=(("nvm_locks.c", 932),),
+    ),
+)
+
+
+# -- PMFS -------------------------------------------------------------------
+
+def _journal_header_atomic(state: CrashState) -> bool:
+    # pmfs_commit_journal advances head/tail/gen_id as one logical commit;
+    # the single barrier at 632 leaves every partial combination exposed.
+    for o in state.objects_of_type("pmfs_journal"):
+        if not o.durable:
+            continue
+        trio = (o.read_field("head"), o.read_field("tail"),
+                o.read_field("gen_id"))
+        if trio not in {(0, 0, 0), (8, 16, 1)}:
+            return False
+    return True
+
+
+_oracle(
+    "pmfs_journal",
+    Invariant(
+        description="journal header advances atomically",
+        check=_journal_header_atomic,
+        validates=(("journal.c", 632),),
+    ),
+)
+
+
+def _symlink_block_before_size(state: CrashState) -> bool:
+    # i_size=64 durable implies the symlink block content is durable.
+    inodes = state.objects_of_type("pmfs_inode")
+    if not inodes or not inodes[0].durable:
+        return True
+    if inodes[0].read_field("i_size") != 64:
+        return True
+    blocks = [o for o in state.objects()
+              if o.alloc_id != inodes[0].alloc_id]
+    return bool(blocks) and blocks[0].durable == b"\x2f" * 64
+
+
+_oracle(
+    "pmfs_symlink",
+    Invariant(
+        description="i_size only durable once the symlink block is",
+        check=_symlink_block_before_size,
+        validates=(("symlink.c", 38),),
+    ),
+)
+
+
+# -- Mnemosyne --------------------------------------------------------------
+
+def _phlog_sane(state: CrashState) -> bool:
+    # Sanity only: head and the slot word never hold torn values
+    # (phlog_base: head at offset 0, buffer[7] at 8 + 7*8 = 64).
+    for o in state.objects_of_type("phlog_base"):
+        if not o.durable:
+            continue
+        if o.read_field("head") not in (0, 3):
+            return False
+        if o.read_int(64) not in (0, 0xDEAD):
+            return False
+    return True
+
+
+_oracle(
+    "mnemosyne_phlog",
+    Invariant(
+        description="log head and payload word are never torn",
+        check=_phlog_sane,
+    ),
+)

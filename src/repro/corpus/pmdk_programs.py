@@ -61,7 +61,7 @@ def build_btree_map(fixed=False, repeat: int = 1) -> Module:
     b.store(2, nf, line=196)
     items = b.getfield(split.arg("node"), "items", line=200)
     last = b.getelem(items, 3, line=200)
-    b.store(0, last, line=201)  # BUG(studied): unlogged write in transaction
+    b.store(7, last, line=201)  # BUG(studied): unlogged write in transaction
     b.ret()
 
     insert = mod.define_function("btree_map_insert", ty.VOID,
@@ -114,10 +114,15 @@ def build_btree_map(fixed=False, repeat: int = 1) -> Module:
     def body(b: IRBuilder, _iv) -> None:
         n1 = b.palloc(node_t, line=500)
         n2 = b.palloc(node_t, line=501)
+        n3 = b.palloc(node_t, line=502)
         b.call(insert, [n1], line=505)
         b.call(meta, [n2], line=506)
-        b.call(clear, [n1], line=507)
-        b.call(remove, [n1], line=508)
+        # clear/remove operate on a scratch node: clearing the node the
+        # insert committed would itself be a (separate) non-atomic clear,
+        # and clearing the meta node would flush the store behind the
+        # line-208 false positive
+        b.call(clear, [n3], line=507)
+        b.call(remove, [n3], line=508)
 
     counted_loop(b, repeat, body, line=503)
     b.ret(0, line=510)

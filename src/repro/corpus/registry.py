@@ -14,7 +14,7 @@ EXPERIMENTS.md) are marked ``invented=True``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import CorpusError
 from ..ir.module import Module
@@ -155,6 +155,10 @@ class CorpusProgram:
     #: entry point for dynamic/VM runs ("" if not executable standalone)
     entry: str = "main"
     description: str = ""
+    #: crashsim recovery contract (:class:`repro.crashsim.Oracle`),
+    #: attached after registration by :mod:`repro.corpus.oracles` so the
+    #: registry itself stays free of crashsim imports
+    oracle: Optional[Any] = None
 
     def __post_init__(self) -> None:
         # Every build starts from a clean label counter so the module's

@@ -60,6 +60,8 @@ class PersistDomain:
     def on_palloc(self, alloc_id: int, size: int) -> None:
         self.device.register(alloc_id, size)
         self._alloc_sizes[alloc_id] = size
+        if self._emit is not None:
+            self._emit("persist.palloc", alloc=alloc_id, size=size)
 
     def on_pfree(self, alloc_id: int) -> None:
         self.cache.drop_allocation(alloc_id)
@@ -67,6 +69,8 @@ class PersistDomain:
             del self._pending[line]
         self.device.release(alloc_id)
         self._alloc_sizes.pop(alloc_id, None)
+        if self._emit is not None:
+            self._emit("persist.pfree", alloc=alloc_id)
 
     def is_persistent(self, alloc_id: int) -> bool:
         return alloc_id in self._alloc_sizes
@@ -159,6 +163,23 @@ class PersistDomain:
     # -- crash-state inspection --------------------------------------------------
     def pending_lines(self) -> List[LineId]:
         return list(self._pending)
+
+    def line_bytes(self, line: LineId) -> bytes:
+        """Current *architectural* content of one cacheline — what a
+        completing flush of that line would persist right now."""
+        alloc_id, idx = line
+        size = self._alloc_sizes[alloc_id]
+        start, end = line_span(idx)
+        end = min(end, size)
+        return self._read_mem(alloc_id, start, end)
+
+    def durable_line_bytes(self, line: LineId) -> bytes:
+        """Content of one cacheline on the durable device image."""
+        alloc_id, idx = line
+        size = self._alloc_sizes[alloc_id]
+        start, end = line_span(idx)
+        end = min(end, size)
+        return self.device.read(alloc_id, start, end - start)
 
     def dirty_unflushed_lines(self) -> List[LineId]:
         return [l for l in self.cache.dirty_lines() if l not in self._pending]

@@ -22,7 +22,7 @@ from .cache import (
     check_with_cache,
     default_cache_dir,
 )
-from .executor import check_programs
+from .executor import check_programs, run_tasks
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -33,4 +33,5 @@ __all__ = [
     "check_programs",
     "check_with_cache",
     "default_cache_dir",
+    "run_tasks",
 ]

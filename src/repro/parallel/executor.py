@@ -84,6 +84,42 @@ def _pool_context():
     return None
 
 
+def run_tasks(task_fn, tasks: List[Dict[str, Any]],
+              jobs: int = 1) -> List[Dict[str, Any]]:
+    """Run ``task_fn`` over ``tasks`` on a process pool of ``jobs`` workers.
+
+    The shared fan-out core behind ``deepmc corpus --jobs N`` and
+    ``deepmc crashsim --jobs N``. ``task_fn`` must be module-level
+    (picklable) and each task a JSON-able dict with at least a ``name``
+    key. Guarantees:
+
+    * ``jobs <= 1`` runs the identical task function in-process (no
+      pool), keeping serial and parallel paths byte-for-byte comparable;
+    * results come back in submission order, so parallel output is
+      deterministic;
+    * a worker that dies without returning (hard crash, broken pool,
+      unpicklable payload) degrades to a per-task
+      ``{"name", "ok": False, "error"}`` entry, never a lost run.
+    """
+    if jobs <= 1:
+        return [task_fn(task) for task in tasks]
+
+    results: List[Dict[str, Any]] = []
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=_pool_context()) as pool:
+        futures = [pool.submit(task_fn, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                results.append({
+                    "name": task.get("name"),
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+    return results
+
+
 def check_programs(
     names: List[str],
     jobs: int = 1,
@@ -106,22 +142,4 @@ def check_programs(
         }
         for name in names
     ]
-    if jobs <= 1:
-        return [_check_program_task(task) for task in tasks]
-
-    results: List[Dict[str, Any]] = []
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=_pool_context()) as pool:
-        futures = [pool.submit(_check_program_task, task) for task in tasks]
-        for task, future in zip(tasks, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                # The worker died without returning (hard crash, broken
-                # pool, unpicklable payload): degrade to an error entry.
-                results.append({
-                    "name": task["name"],
-                    "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}",
-                })
-    return results
+    return run_tasks(_check_program_task, tasks, jobs=jobs)

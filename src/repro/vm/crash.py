@@ -171,13 +171,27 @@ def enumerate_crash_states(
     should crash at points with few pending lines (``max_pending`` guards
     against accidental blow-up).
     """
-    pending: List[LineId] = interpreter.domain.pending_lines()
+    domain = interpreter.domain
+    # A line persisted earlier in the epoch and then re-dirtied back to its
+    # durable content (store x, persist, store y, store x, flush) is a
+    # no-op candidate: including or excluding it yields the same image.
+    # Filter those before subsetting, then hash-dedup the images, so each
+    # distinct durable state is enumerated exactly once.
+    pending: List[LineId] = [
+        line for line in domain.pending_lines()
+        if domain.line_bytes(line) != domain.durable_line_bytes(line)
+    ]
     if len(pending) > max_pending:
         raise VMError(
             f"{len(pending)} pending lines would enumerate "
             f"{2 ** len(pending)} states; raise max_pending explicitly"
         )
+    seen = set()
     for r in range(len(pending) + 1):
         for subset in itertools.combinations(pending, r):
             image = interpreter.domain.crash_state(subset)
+            digest = tuple(sorted(image.items()))
+            if digest in seen:
+                continue
+            seen.add(digest)
             yield CrashState(interpreter, image)

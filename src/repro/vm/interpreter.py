@@ -183,6 +183,10 @@ class Interpreter:
         emit = (self.telemetry.event
                 if self.telemetry.events_enabled else None)
         self._trace_instructions = trace_instructions and emit is not None
+        #: the resolved emitter is shared with the persist domain so the
+        #: transaction events below interleave correctly with the
+        #: store/flush/fence stream (crashsim replays that combined order).
+        self._emit = emit
         self.domain = PersistDomain(self.memory.read_alloc_bytes, cost_model,
                                     event_emitter=emit)
         self.cost = cost_model
@@ -427,10 +431,20 @@ class Interpreter:
                 thread.tx_stack.append(TxRecord(rid))
             st.record_tx_begin(inst.kind)
             st.cycles += self.cost.tx_overhead
+            if self._emit is not None:
+                self._emit("persist.txbegin", thread=thread.thread_id,
+                           region_kind=inst.kind, region=rid)
             return True
 
         if isinstance(inst, ins.TxEnd):
-            self._end_region(thread, inst.kind)
+            rid = self._end_region(thread, inst.kind)
+            # Emitted *after* _end_region so a durable commit's flush+fence
+            # events precede the txend event: a replay that crashes inside
+            # the commit window still sees the transaction as open (and can
+            # roll it back), matching the live tx_stack semantics.
+            if self._emit is not None:
+                self._emit("persist.txend", thread=thread.thread_id,
+                           region_kind=inst.kind, region=rid)
             return True
 
         if isinstance(inst, ins.TxAdd):
@@ -441,6 +455,9 @@ class Interpreter:
             snapshot = mem.read_bytes(ptr, size)
             thread.tx_stack[-1].logged.append((ptr, size, snapshot))
             st.cycles += self.cost.tx_overhead + size * self.cost.byte_move
+            if self._emit is not None:
+                self._emit("persist.txadd", thread=thread.thread_id,
+                           alloc=ptr.alloc_id, offset=ptr.offset, size=size)
             return True
 
         if isinstance(inst, ins.Call):
@@ -545,7 +562,7 @@ class Interpreter:
         if frame.dest is not None:
             caller.regs[id(frame.dest)] = value
 
-    def _end_region(self, thread: Thread, kind: str) -> None:
+    def _end_region(self, thread: Thread, kind: str) -> int:
         for i in range(len(thread.region_stack) - 1, -1, -1):
             if thread.region_stack[i][0] == kind:
                 _, rid, _ = thread.region_stack.pop(i)
@@ -569,6 +586,7 @@ class Interpreter:
                     if self.memory.is_persistent(ptr.alloc_id):
                         self.domain.flush(ptr.alloc_id, ptr.offset, size)
                 self.domain.fence()
+        return rid
 
     # -- scalar ops ----------------------------------------------------------------
     def _binop(self, inst: ins.BinOp, a: Any, b: Any) -> Any:

@@ -1,0 +1,105 @@
+"""Corpus-wide crash validation: the dynamic analogue of ground truth.
+
+Every oracle-annotated corpus bug must be *demonstrated* by a concrete
+failing crash image in the buggy build, and every fixed build must
+produce zero failing images — the WITCHER-style end-to-end check that the
+static warnings point at real, reachable corruption.
+"""
+
+import pytest
+
+from repro.corpus import REGISTRY
+from repro.crashsim import simulate_program
+
+#: programs whose oracle validates at least one annotated bug in the
+#: buggy build (pmfs_symlink's bug is masked by the outer journal —
+#: annotated but classified *recovered*; mnemosyne_phlog is sanity-only)
+VALIDATING = [
+    "pmdk_hashmap",
+    "pmdk_hashmap_atomic",
+    "pmdk_obj_pmemlog",
+    "pmdk_obj_pmemlog_simple",
+    "pmdk_btree_map",
+    "nvmdirect_locks",
+    "pmfs_journal",
+]
+
+ORACLE_PROGRAMS = VALIDATING + ["pmfs_symlink", "mnemosyne_phlog"]
+
+
+@pytest.fixture(scope="module")
+def buggy_reports():
+    return {name: simulate_program(name) for name in ORACLE_PROGRAMS}
+
+
+@pytest.fixture(scope="module")
+def fixed_reports():
+    return {name: simulate_program(name, fixed=True)
+            for name in ORACLE_PROGRAMS}
+
+
+class TestBuggyBuilds:
+    @pytest.mark.parametrize("name", VALIDATING)
+    def test_every_annotated_bug_validated(self, buggy_reports, name):
+        report = buggy_reports[name]
+        assert report.failing_count >= 1
+        validated = [v for v in report.validations if v["validated"]]
+        assert validated, f"{name}: no validated bug"
+        for v in validated:
+            # validation ties a real warning to a real failing image
+            assert v["warning_reported"]
+            assert v["crash_image"] is not None
+
+    def test_acceptance_floor(self, buggy_reports):
+        # >= 6 bugs across >= 2 frameworks validated by crash images
+        validated = [
+            (REGISTRY.program(name).framework, v["file"], v["line"])
+            for name, r in buggy_reports.items()
+            for v in r.validations if v["validated"]
+        ]
+        assert len(validated) >= 6
+        assert len({fw for fw, _, _ in validated}) >= 2
+
+    def test_false_positive_never_validated(self, buggy_reports):
+        # hashmap_atomic.c:496 is the corpus FP: the checker warns, but no
+        # crash image can fail an invariant for it — it has none
+        report = buggy_reports["pmdk_hashmap_atomic"]
+        assert all((v["file"], v["line"]) != ("hashmap_atomic.c", 496)
+                   for v in report.validations)
+
+    def test_symlink_masked_by_journal(self, buggy_reports):
+        # the missing barrier loses an update but the outer tx rolls it
+        # back: annotated, never corrupted, honest verdict is "recovered"
+        report = buggy_reports["pmfs_symlink"]
+        assert report.failing_count == 0
+        assert report.outcomes["recovered"] >= 1
+        (v,) = report.validations
+        assert (v["file"], v["line"]) == ("symlink.c", 38)
+        assert v["warning_reported"] and not v["validated"]
+
+
+class TestFixedBuilds:
+    @pytest.mark.parametrize("name", ORACLE_PROGRAMS)
+    def test_no_failing_images(self, fixed_reports, name):
+        report = fixed_reports[name]
+        assert report.failing_count == 0
+        assert not any(v["validated"] for v in report.validations)
+
+    def test_fixed_still_enumerates_states(self, fixed_reports):
+        # the fix removes the corruption, not the crash points
+        for name, report in fixed_reports.items():
+            assert report.states > 0
+            assert report.crash_points == report.events + 1
+
+
+class TestReportShape:
+    def test_outcome_counts_partition_states(self, buggy_reports):
+        for report in buggy_reports.values():
+            assert sum(report.outcomes.values()) == report.states
+            assert report.failing_count == (
+                report.outcomes["corrupted"]
+                + report.outcomes["recovery-crash"])
+
+    def test_model_matches_framework(self, buggy_reports):
+        assert buggy_reports["pmdk_hashmap"].model == "strict"
+        assert buggy_reports["pmfs_journal"].model == "epoch"

@@ -1,0 +1,166 @@
+"""Image classification: invariants, rollback, VM recovery entries."""
+
+import pytest
+
+from repro.crashsim import (
+    CONSISTENT,
+    CORRUPTED,
+    RECOVERED,
+    RECOVERY_CRASH,
+    Invariant,
+    Oracle,
+    classify_image,
+    enumerate_crash_images,
+    record_trace,
+)
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty, verify_module
+
+
+def _pair_struct(mod):
+    return mod.define_struct("pair", [("a", ty.I64), ("b", ty.I64)])
+
+
+def buggy_pair_module():
+    """a and b persisted in separate fence epochs: the (1, 0) window."""
+    mod = Module("buggy", persistency_model="strict")
+    pair = _pair_struct(mod)
+    fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+    b = IRBuilder(fn)
+    r = b.palloc(pair, name="pair", line=1)
+    b.store(1, b.getfield(r, "a", line=2), line=2)
+    b.flush(r, 8, line=3)
+    b.fence(line=3)
+    b.store(2, b.getfield(r, "b", line=4), line=4)
+    b.flush(r, 16, line=5)
+    b.fence(line=5)
+    b.ret(line=6)
+    verify_module(mod)
+    return mod
+
+
+def logged_pair_module():
+    """Same pair, updated inside one undo-logged transaction."""
+    mod = Module("logged", persistency_model="strict")
+    pair = _pair_struct(mod)
+    fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+    b = IRBuilder(fn)
+    r = b.palloc(pair, name="pair", line=1)
+    b.txbegin(REGION_TX, line=2)
+    b.txadd(r, 16, line=3)
+    b.store(1, b.getfield(r, "a", line=4), line=4)
+    # mid-tx persist makes the half-updated (1, 0) image durable — with
+    # the undo log still open, so recovery rolls it back
+    b.flush(r, 8, line=4)
+    b.fence(line=4)
+    b.store(2, b.getfield(r, "b", line=5), line=5)
+    b.flush(r, 16, line=6)
+    b.fence(line=6)
+    b.txend(REGION_TX, line=7)
+    b.ret(line=8)
+    verify_module(mod)
+    return mod
+
+
+def pair_invariant():
+    def check(state):
+        for o in state.objects_of_type("pair"):
+            if not o.durable:
+                continue
+            if (o.read_field("a"), o.read_field("b")) not in {(0, 0), (1, 2)}:
+                return False
+        return True
+
+    return Invariant(description="a/b atomic", check=check,
+                     validates=(("p.c", 4),))
+
+
+def _classify_all(module, oracle, model="strict"):
+    trace = record_trace(module)
+    enum = enumerate_crash_images(trace, model)
+    return [classify_image(img, oracle, trace.interpreter, module)
+            for img in enum.images]
+
+
+class TestClassification:
+    def test_unlogged_window_is_silent_corruption(self):
+        verdicts = _classify_all(buggy_pair_module(), Oracle((pair_invariant(),)))
+        outcomes = {v.outcome for v in verdicts}
+        assert CORRUPTED in outcomes  # the durable (1, 0) image
+        bad = next(v for v in verdicts if v.outcome == CORRUPTED)
+        assert bad.failed == ("a/b atomic",)
+
+    def test_logged_window_rolls_back_to_recovered(self):
+        verdicts = _classify_all(logged_pair_module(),
+                                 Oracle((pair_invariant(),)))
+        outcomes = {v.outcome for v in verdicts}
+        assert CORRUPTED not in outcomes
+        assert RECOVERY_CRASH not in outcomes
+        # the half-updated in-tx image violates pre, recovers post
+        assert RECOVERED in outcomes
+        assert CONSISTENT in outcomes
+
+    def test_invariant_exception_is_recovery_crash(self):
+        def explode(state):
+            for o in state.objects_of_type("pair"):
+                if o.durable and o.read_field("a") == 1 \
+                        and o.read_field("b") == 0:
+                    raise ValueError("boom")
+            return True
+
+        oracle = Oracle((Invariant("explodes", explode),))
+        verdicts = _classify_all(buggy_pair_module(), oracle)
+        crash = [v for v in verdicts if v.outcome == RECOVERY_CRASH]
+        assert crash and crash[0].error == "ValueError: boom"
+
+    def test_empty_oracle_everything_consistent(self):
+        verdicts = _classify_all(buggy_pair_module(), Oracle())
+        assert {v.outcome for v in verdicts} == {CONSISTENT}
+
+
+def _with_recovery(persist_repair: bool):
+    """Buggy pair module plus a recovery function that repairs b.
+
+    With ``persist_repair`` the repair is flushed and fenced; without it
+    the repair stays in the recovery VM's cache and must not count.
+    """
+    mod = Module("rec", persistency_model="strict")
+    pair = _pair_struct(mod)
+    fn = mod.define_function("main", ty.VOID, [], source_file="p.c")
+    b = IRBuilder(fn)
+    r = b.palloc(pair, name="pair", line=1)
+    b.store(1, b.getfield(r, "a", line=2), line=2)
+    b.flush(r, 8, line=3)
+    b.fence(line=3)
+    b.store(2, b.getfield(r, "b", line=4), line=4)
+    b.flush(r, 16, line=5)
+    b.fence(line=5)
+    b.ret(line=6)
+
+    rec = mod.define_function("repair", ty.VOID,
+                              [("pair", ty.pointer_to(pair))],
+                              source_file="p.c")
+    b = IRBuilder(rec)
+    p = rec.arg("pair")
+    b.store(1, b.getfield(p, "a", line=10), line=10)
+    b.store(2, b.getfield(p, "b", line=11), line=11)
+    if persist_repair:
+        b.flush(p, 16, line=12)
+        b.fence(line=12)
+    b.ret(line=13)
+    verify_module(mod)
+    return mod
+
+
+class TestRecoveryEntry:
+    def test_recovery_entry_repairs_every_image(self):
+        oracle = Oracle((pair_invariant(),), recovery_entry="repair")
+        verdicts = _classify_all(_with_recovery(persist_repair=True), oracle)
+        assert all(v.outcome in (CONSISTENT, RECOVERED) for v in verdicts)
+        assert any(v.outcome == RECOVERED for v in verdicts)
+
+    def test_unpersisted_repair_does_not_count(self):
+        # recovery code is held to the same persistency rules: a repair
+        # that is never flushed is not durable, so the bad image stays bad
+        oracle = Oracle((pair_invariant(),), recovery_entry="repair")
+        verdicts = _classify_all(_with_recovery(persist_repair=False), oracle)
+        assert any(v.outcome == CORRUPTED for v in verdicts)

@@ -1,0 +1,84 @@
+"""Trace recording: the persist-event stream with content capture."""
+
+from repro.crashsim import record_trace
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty, verify_module
+
+
+def simple_module():
+    mod = Module("t", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="t.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, 2, name="obj", line=1)
+    b.store(7, p, line=2)
+    b.flush(p, 16, line=3)
+    b.fence(line=4)
+    b.ret(line=5)
+    verify_module(mod)
+    return mod
+
+
+def tx_module():
+    mod = Module("tx", persistency_model="strict")
+    fn = mod.define_function("main", ty.VOID, [], source_file="tx.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, name="obj", line=1)
+    b.store(100, p, line=2)
+    b.flush(p, 8, line=2)
+    b.fence(line=2)
+    b.txbegin(REGION_TX, line=3)
+    b.txadd(p, 8, line=4)
+    b.store(999, p, line=5)
+    b.flush(p, 8, line=6)
+    b.fence(line=6)
+    b.txend(REGION_TX, line=7)
+    b.ret(line=8)
+    verify_module(mod)
+    return mod
+
+
+class TestTraceRecording:
+    def test_event_kind_sequence(self):
+        trace = record_trace(simple_module())
+        kinds = [ev.kind for ev in trace.events]
+        assert kinds == ["palloc", "store", "flush", "fence"]
+        assert len(trace) == 4
+
+    def test_store_captures_post_store_line_content(self):
+        trace = record_trace(simple_module())
+        store = next(ev for ev in trace.events if ev.kind == "store")
+        assert list(store.content) == [(store.alloc, 0)]
+        line = store.content[(store.alloc, 0)]
+        assert line[:8] == (7).to_bytes(8, "little")
+
+    def test_alloc_sizes_recorded(self):
+        trace = record_trace(simple_module())
+        palloc = trace.events[0]
+        assert trace.alloc_sizes[palloc.alloc] == 16
+
+    def test_txadd_captures_pre_modification_snapshot(self):
+        trace = record_trace(tx_module())
+        txadd = next(ev for ev in trace.events if ev.kind == "txadd")
+        # the snapshot is the value *before* the in-tx store of 999
+        assert txadd.snapshot == (100).to_bytes(8, "little")
+
+    def test_tx_events_carry_thread_and_region(self):
+        trace = record_trace(tx_module())
+        begin = next(ev for ev in trace.events if ev.kind == "txbegin")
+        end = next(ev for ev in trace.events if ev.kind == "txend")
+        assert begin.region_kind == REGION_TX
+        assert begin.region == end.region
+        assert begin.thread == end.thread
+
+    def test_txend_follows_commit_flush_and_fence(self):
+        # commit-time durability actions precede the txend marker, so a
+        # crash between them still sees the transaction open
+        trace = record_trace(tx_module())
+        kinds = [ev.kind for ev in trace.events]
+        end = kinds.index("txend")
+        assert "fence" in kinds[kinds.index("txadd"):end]
+
+    def test_result_carries_interpreter(self):
+        trace = record_trace(simple_module())
+        state = trace.interpreter.domain.durable_snapshot()
+        (data,) = state.values()
+        assert data[:8] == (7).to_bytes(8, "little")

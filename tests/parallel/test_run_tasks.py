@@ -1,0 +1,34 @@
+"""The shared fan-out core behind corpus --jobs and crashsim --jobs."""
+
+from repro.parallel import run_tasks
+
+
+def _double(task):
+    return {"name": task["name"], "ok": True, "value": task["n"] * 2}
+
+
+def _sometimes_raises(task):
+    if task["n"] == 2:
+        raise RuntimeError("worker exploded")
+    return {"name": task["name"], "ok": True, "value": task["n"]}
+
+
+TASKS = [{"name": f"t{i}", "n": i} for i in range(5)]
+
+
+class TestRunTasks:
+    def test_serial_runs_in_process(self):
+        results = run_tasks(_double, TASKS, jobs=1)
+        assert [r["value"] for r in results] == [0, 2, 4, 6, 8]
+
+    def test_parallel_preserves_submission_order(self):
+        assert run_tasks(_double, TASKS, jobs=3) == run_tasks(
+            _double, TASKS, jobs=1)
+
+    def test_worker_exception_degrades_per_task(self):
+        results = run_tasks(_sometimes_raises, TASKS, jobs=2)
+        assert [r["ok"] for r in results] == [True, True, False, True, True]
+        bad = results[2]
+        assert bad["name"] == "t2"
+        assert "worker exploded" in bad["error"]
+        assert "RuntimeError" in bad["error"]

@@ -1,0 +1,82 @@
+"""Hypothesis properties for crash-image enumeration.
+
+The soundness core of crashsim: no enumerated image may violate the
+ordering the persistency model guarantees. The generator builds programs
+of fenced rounds — every round stores a round-tagged value to every slot
+(slots live on distinct cachelines), flushes, fences — so any image that
+mixes rounds more than one apart would persist a late store while
+dropping a fence-ordered earlier one.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crashsim import enumerate_crash_images, record_trace
+from repro.ir import IRBuilder, Module, types as ty, verify_module
+
+#: value written to slot s in round r is (r + 1) * TAG + s, so
+#: round(value) = value // TAG, with the initial zeros being round 0
+TAG = 100
+
+
+def rounds_module(n_slots, n_rounds, model):
+    mod = Module("prop", persistency_model=model)
+    fn = mod.define_function("main", ty.VOID, [], source_file="prop.c")
+    b = IRBuilder(fn)
+    p = b.palloc(ty.I64, 8 * n_slots, name="slots", line=1)  # 64B apart
+    line = 2
+    for r in range(n_rounds):
+        for s in range(n_slots):
+            b.store((r + 1) * TAG + s, b.getelem(p, 8 * s), line=line)
+        b.flush(p, 64 * n_slots, line=line)
+        b.fence(line=line)
+        line += 1
+    b.ret(line=line)
+    verify_module(mod)
+    return mod
+
+
+def slot_rounds(image, n_slots):
+    for data in image.image.values():
+        return [int.from_bytes(data[64 * s: 64 * s + 8], "little") // TAG
+                for s in range(n_slots)]
+    return []
+
+
+params = st.tuples(st.integers(1, 3), st.integers(1, 3),
+                   st.sampled_from(["strict", "epoch"]))
+
+
+class TestFenceOrdering:
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_no_image_skips_a_fenced_round(self, p):
+        n_slots, n_rounds, model = p
+        trace = record_trace(rounds_module(n_slots, n_rounds, model))
+        enum = enumerate_crash_images(trace, model)
+        for img in enum.images:
+            rounds = slot_rounds(img, n_slots)
+            if rounds:
+                # a fence drains everything older: slots may straddle at
+                # most the one open round
+                assert max(rounds) - min(rounds) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_every_round_boundary_image_enumerated(self, p):
+        # completeness: the all-slots-at-round-r image exists for every r
+        n_slots, n_rounds, model = p
+        trace = record_trace(rounds_module(n_slots, n_rounds, model))
+        enum = enumerate_crash_images(trace, model)
+        seen = {tuple(slot_rounds(img, n_slots)) for img in enum.images}
+        for r in range(n_rounds + 1):
+            assert (r,) * n_slots in seen
+
+    @settings(max_examples=25, deadline=None)
+    @given(params)
+    def test_images_unique(self, p):
+        n_slots, n_rounds, model = p
+        trace = record_trace(rounds_module(n_slots, n_rounds, model))
+        enum = enumerate_crash_images(trace, model)
+        keys = [(tuple(sorted(img.image.items())), img.open_tx)
+                for img in enum.images]
+        assert len(keys) == len(set(keys))

@@ -138,6 +138,45 @@ class TestCrashStateEnumeration:
         with pytest.raises(VMError, match="pending lines"):
             list(enumerate_crash_states(run.result.interpreter, max_pending=8))
 
+    def test_noop_pending_line_not_doubled(self):
+        # a pending line whose content equals its durable content cannot
+        # change the image; it must not double the state count
+        mod = Module("noop", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="n.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, line=1)
+        b.store(5, p, line=2)
+        b.flush(p, 8, line=3)
+        b.fence(line=3)
+        b.store(0, p, line=4)
+        b.store(5, p, line=4)  # back to the durable value
+        b.flush(p, 8, line=5)
+        b.fence(line=7)
+        b.ret(line=8)
+        verify_module(mod)
+        run = run_with_crash(mod, CrashPoint("n.c", 7))
+        states = list(enumerate_crash_states(run.result.interpreter))
+        assert len(states) == 1
+
+    def test_duplicate_images_deduped(self):
+        # two pending lines holding their durable content after a detour:
+        # all four subsets collapse to one distinct image
+        mod = Module("dup", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="d.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64, 16, line=1)  # two cachelines
+        for elem in (0, 8):
+            b.store(3, b.getelem(p, elem), line=2)
+            b.store(0, b.getelem(p, elem), line=3)
+        b.flush(p, 128, line=4)
+        b.fence(line=6)
+        b.ret(line=7)
+        verify_module(mod)
+        run = run_with_crash(mod, CrashPoint("d.c", 6))
+        states = list(enumerate_crash_states(run.result.interpreter))
+        assert len(states) == 1
+        assert states[0].objects()[0].read_int(0, 8) == 0
+
     def test_object_lookup_errors(self):
         run = run_with_crash(hashmap_module(), CrashPoint("hashmap.c", 6))
         with pytest.raises(VMError):
