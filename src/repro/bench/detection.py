@@ -224,6 +224,7 @@ def _run_parallel(programs: List[CorpusProgram], jobs: int,
         cache_dir=str(cache_obj.root) if cache_obj is not None else None,
         telemetry=tel.enabled,
         checker_opts=checker_opts,
+        executor_telemetry=tel if tel.enabled else None,
     )
     for program, payload in zip(programs, payloads):
         if not payload.get("ok"):

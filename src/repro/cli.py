@@ -14,6 +14,8 @@ Subcommands::
                   [--jobs N] [--cache | --cache-dir DIR]
     deepmc crashsim [PROGRAM ...] [--fixed] [--max-states N] [--jobs N]
                     [--format text|json]
+    deepmc chaos [--seeds 0..9] [--jobs N] [--deadline S]
+                 [--layers nvm,vm,executor,cache] [--format text|json]
     deepmc cache {stats,clear} [--cache-dir DIR]
     deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
 """
@@ -22,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -257,6 +260,71 @@ def cmd_crashsim(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def parse_seed_spec(spec: str) -> List[int]:
+    """Parse a seed sweep spec: ``0..9`` (inclusive range), ``0,3,7``
+    (list), ``5`` (single), or any comma-mix of the three."""
+    seeds: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            lo, hi = part.split("..", 1)
+            lo_i, hi_i = int(lo), int(hi)
+            if hi_i < lo_i:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(lo_i, hi_i + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in spec {spec!r}")
+    return seeds
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import DEFAULT_DEADLINE_S, LAYERS, render_chaos, run_chaos
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"deepmc: error: {exc}", file=sys.stderr)
+        return 2
+    layers = tuple(l.strip() for l in args.layers.split(",") if l.strip())
+    unknown = [l for l in layers if l not in LAYERS]
+    if unknown:
+        print(f"deepmc: error: unknown layer(s): {', '.join(unknown)} "
+              f"(choose from {', '.join(LAYERS)})", file=sys.stderr)
+        return 2
+    tel = _telemetry_for(args) or Telemetry()
+    report = run_chaos(
+        seeds=seeds,
+        jobs=args.jobs,
+        deadline_s=(args.deadline if args.deadline is not None
+                    else DEFAULT_DEADLINE_S),
+        layers=layers,
+        framework=args.framework,
+        telemetry=tel,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_chaos(report))
+    # Fault/recovery traffic counts are timing-dependent (how many tasks
+    # a dying pool takes down varies with scheduling), so they go to
+    # stderr — stdout stays deterministic per seed set.
+    chaos_metrics = {
+        k: v for k, v in sorted(tel.metrics.snapshot().items())
+        if k.startswith(("faults.", "executor.", "cache."))
+    }
+    if chaos_metrics:
+        print("chaos metrics: " + "  ".join(
+            f"{k}={v}" for k, v in chaos_metrics.items()), file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(tel.profile(), file=sys.stderr)
+    tel.close()
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from .parallel import AnalysisCache
 
@@ -269,6 +337,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
             print(f"cache directory: {stats.root}")
             print(f"entries:         {stats.entries}")
             print(f"total size:      {stats.total_bytes} bytes")
+            print(f"quarantined:     {stats.quarantined}")
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cache entr"
@@ -437,6 +506,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report format (json is machine-readable and "
                         "schema-stable)")
     p.set_defaults(func=cmd_crashsim)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection campaign: infra faults "
+             "must not change detection results; NVM faults must surface "
+             "as failing crash images",
+    )
+    p.add_argument("--seeds",
+                   default=os.environ.get("DEEPMC_CHAOS_SEEDS", "0..9"),
+                   metavar="SPEC",
+                   help="seed sweep: '0..9', '0,3,7', or '5' "
+                        "(default: $DEEPMC_CHAOS_SEEDS or 0..9)")
+    p.add_argument("--jobs", "-j", type=int,
+                   default=int(os.environ.get("DEEPMC_JOBS", "4")),
+                   metavar="N",
+                   help="worker processes for the corpus phase "
+                        "(default: $DEEPMC_JOBS or 4; 1 disables "
+                        "executor faults — no pool to isolate them)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="progress deadline before a pool is presumed "
+                        "wedged (default: 10)")
+    p.add_argument("--layers", default=",".join(
+                       ("nvm", "vm", "executor", "cache")),
+                   metavar="L1,L2,...",
+                   help="fault layers to exercise (default: all four)")
+    p.add_argument("--framework",
+                   choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
+                   default=None,
+                   help="restrict the program sets to one framework")
+    _add_observability_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="campaign report format")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "cache",

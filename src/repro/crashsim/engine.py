@@ -262,7 +262,8 @@ def simulate_programs(
         }
         for name in names
     ]
-    payloads = run_tasks(_crashsim_task, tasks, jobs=jobs)
+    payloads = run_tasks(_crashsim_task, tasks, jobs=jobs,
+                         telemetry=telemetry)
     if telemetry is not None:
         for payload in payloads:
             if payload.get("span"):

@@ -153,6 +153,24 @@ class ReplayState:
             self._write_back(ln)
             self.pending.pop(ln, None)
             self.epoch_dirty.pop(ln, None)
+        elif ev.kind == "drop":
+            # injected dropped flush: the drain never happened — the line
+            # leaves the pending set but stays dirty (a later flush+fence
+            # can still persist it)
+            self.pending.pop((ev.alloc, ev.line), None)
+        elif ev.kind == "torn":
+            # injected torn write-back: only the first `keep` bytes of
+            # the line reached the device; the line is clean thereafter
+            ln = (ev.alloc, ev.line)
+            data = self.content.get(ln)
+            buf = self.durable.get(ev.alloc)
+            if data is not None and buf is not None:
+                start, end = line_span(ln[1])
+                end = min(end, len(buf))
+                keep = max(0, min(ev.keep or 0, end - start, len(data)))
+                buf[start:start + keep] = data[:keep]
+            self.dirty.pop(ln, None)
+            self.pending.pop(ln, None)
         elif ev.kind == "txbegin" and ev.region_kind == REGION_TX:
             self._tx.setdefault(ev.thread, []).append([ev.region, []])
         elif ev.kind == "txadd":

@@ -34,8 +34,10 @@ class TraceEvent:
 
     ``kind`` is the event name without the ``persist.`` prefix: one of
     ``palloc``, ``pfree``, ``store``, ``flush``, ``fence``, ``evict``,
-    ``txbegin``, ``txadd``, ``txend``. Only the fields relevant to each
-    kind are set.
+    ``txbegin``, ``txadd``, ``txend`` — plus the injected-fault kinds
+    ``drop`` (a fence drain silently lost a line) and ``torn`` (a drain
+    persisted only the first ``keep`` bytes of its line). Only the
+    fields relevant to each kind are set.
     """
 
     index: int
@@ -46,8 +48,10 @@ class TraceEvent:
     thread: Optional[int] = None
     region: Optional[int] = None
     region_kind: Optional[str] = None
-    #: evicted line index (``evict`` only)
+    #: affected line index (``evict``/``drop``/``torn`` only)
     line: Optional[int] = None
+    #: bytes that reached the device (``torn`` only)
+    keep: Optional[int] = None
     #: post-store content of every covered cacheline (``store`` only)
     content: Dict[LineId, bytes] = field(default_factory=dict)
     #: pre-modification bytes of the logged range (``txadd`` only)
@@ -96,6 +100,11 @@ class TraceRecorder(Sink):
             pass
         elif short == "evict":
             ev.alloc, ev.line = payload["alloc"], payload["line"]
+        elif short == "drop":
+            ev.alloc, ev.line = payload["alloc"], payload["line"]
+        elif short == "torn":
+            ev.alloc, ev.line = payload["alloc"], payload["line"]
+            ev.keep = payload["keep"]
         elif short in ("txbegin", "txend"):
             ev.thread = payload["thread"]
             ev.region_kind = payload["region_kind"]

@@ -1,0 +1,53 @@
+"""Deterministic fault injection (chaos) for the DeepMC pipeline.
+
+The subsystem has three parts, one per module:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, a pure (seed, site) →
+  decision function; the single source of randomness-shaped determinism;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, the live hook
+  object the NVM persist domain and the VM consult, plus the executor-
+  and cache-layer injection helpers;
+* :mod:`~repro.faults.chaos` — seed-sweep campaigns (``deepmc chaos``)
+  asserting the two chaos invariants: infrastructure faults never change
+  detection results; injected NVM faults are surfaced as failing images.
+
+See docs/FAULTS.md for the taxonomy and the determinism contract.
+"""
+
+from .chaos import (
+    ChaosReport,
+    DEFAULT_DEADLINE_S,
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_NVM_PROGRAMS,
+    SeedResult,
+    nvm_candidates,
+    render_chaos,
+    run_chaos,
+)
+from .injector import (
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    apply_executor_fault,
+    corrupt_cache_entries,
+)
+from .plan import CACHE_KINDS, EXECUTOR_KINDS, LAYERS, FaultPlan, site_hash
+
+__all__ = [
+    "CACHE_KINDS",
+    "CRASH_EXIT_CODE",
+    "ChaosReport",
+    "DEFAULT_DEADLINE_S",
+    "DEFAULT_MAX_CANDIDATES",
+    "DEFAULT_NVM_PROGRAMS",
+    "EXECUTOR_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "LAYERS",
+    "SeedResult",
+    "apply_executor_fault",
+    "corrupt_cache_entries",
+    "nvm_candidates",
+    "render_chaos",
+    "run_chaos",
+    "site_hash",
+]

@@ -1,0 +1,212 @@
+"""Fault injection: turning plan decisions into injected faults.
+
+A :class:`FaultInjector` is the live object the execution layers consult.
+It is deliberately dumb — it owns ordinal counters and a tally, and
+answers the duck-typed hooks :class:`repro.nvm.domain.PersistDomain` and
+:class:`repro.vm.interpreter.Interpreter` call — while all *policy* lives
+in the :class:`~repro.faults.plan.FaultPlan` (rate mode) or in a targeted
+*directive* (the chaos campaign's mode: "fault exactly the N-th drain").
+
+Targeted directives exist because NVM chaos is a search problem: a
+randomly dropped flush is often *masked* (the program re-flushes the
+line, or the lost bytes happen to equal the durable bytes), so the
+campaign enumerates candidate injection points from a clean trace and
+tries them in seeded order until one provably surfaces. Ordinals — not
+line ids — address the candidates, because the ordinal sequence of a
+deterministic execution is identical up to the injection point.
+
+:func:`corrupt_cache_entries` is the cache layer's injector: it damages
+on-disk :class:`~repro.parallel.cache.AnalysisCache` entries in the three
+ways the cache must survive (truncation, bit-flip, stale format).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry import Telemetry
+from .plan import FaultPlan, site_hash
+
+#: exit code used by injected worker crashes; distinctive in waitpid logs
+CRASH_EXIT_CODE = 23
+
+
+class FaultInjector:
+    """Per-run fault state: counters plus either a plan or a directive.
+
+    ``nvm_directive`` targets one exact injection point::
+
+        {"kind": "drop",  "at": 3}             # 4th fence drain is lost
+        {"kind": "torn",  "at": 3, "keep": 8}  # ...persists 8 bytes only
+        {"kind": "evict", "at": 5}             # 6th store-line evicts
+
+    ``vm_crash_at`` (1-based instruction index) truncates execution like
+    a power failure at that step. Without a directive, ``plan`` rate mode
+    answers every hook. One injector serves one execution — ordinals
+    never reset.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 nvm_directive: Optional[Dict[str, Any]] = None,
+                 vm_crash_at: int = 0,
+                 telemetry: Optional[Telemetry] = None):
+        if nvm_directive is not None:
+            kind = nvm_directive.get("kind")
+            if kind not in ("drop", "torn", "evict"):
+                raise ValueError(f"unknown NVM directive kind {kind!r}")
+            if kind == "torn" and int(nvm_directive.get("keep", 0)) <= 0:
+                raise ValueError("torn directive needs keep > 0")
+        self.plan = plan
+        self.nvm_directive = dict(nvm_directive) if nvm_directive else None
+        self.vm_crash_at = int(vm_crash_at)
+        self.telemetry = telemetry
+        #: ordinal counters: how many times each hook has been consulted
+        self._drain_calls = 0
+        self._evict_calls = 0
+        #: every injected fault, in injection order: (layer.kind, site)
+        self.injected: List[Tuple[str, Any]] = []
+
+    # -- bookkeeping --------------------------------------------------------
+    def _record(self, kind: str, site: Any) -> None:
+        self.injected.append((kind, site))
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("faults.injected").inc()
+            self.telemetry.metrics.counter(f"faults.{kind}").inc()
+            self.telemetry.event("fault_injected", fault=kind,
+                                 site=str(site))
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.injected)
+
+    # -- PersistDomain hooks ------------------------------------------------
+    def nvm_drain_fault(self, line) -> Optional[Tuple]:
+        """Consulted once per fence drain; ordinal = consultation index."""
+        ordinal = self._drain_calls
+        self._drain_calls += 1
+        d = self.nvm_directive
+        if d is not None:
+            if d["kind"] in ("drop", "torn") and d["at"] == ordinal:
+                self._record(f"nvm.{d['kind']}", (ordinal, line))
+                return (("drop",) if d["kind"] == "drop"
+                        else ("torn", int(d["keep"])))
+            return None
+        if self.plan is None:
+            return None
+        fault = self.plan.nvm_drain_fault(ordinal)
+        if fault is not None:
+            self._record(f"nvm.{fault[0]}", (ordinal, line))
+        return fault
+
+    def nvm_spurious_evict(self, line) -> bool:
+        """Consulted once per just-stored dirty line."""
+        ordinal = self._evict_calls
+        self._evict_calls += 1
+        d = self.nvm_directive
+        if d is not None:
+            if d["kind"] == "evict" and d["at"] == ordinal:
+                self._record("nvm.evict", (ordinal, line))
+                return True
+            return False
+        if self.plan is not None and self.plan.nvm_spurious_evict(ordinal):
+            self._record("nvm.evict", (ordinal, line))
+            return True
+        return False
+
+    # -- Interpreter hook ---------------------------------------------------
+    def vm_crash_step(self) -> int:
+        """1-based step to crash at; 0 disables. Consulted at VM start."""
+        if self.vm_crash_at > 0:
+            self._record("vm.crash", self.vm_crash_at)
+        return self.vm_crash_at
+
+
+# -- executor-layer injection (applied inside pool workers) -----------------
+
+def apply_executor_fault(task: Dict[str, Any]) -> None:
+    """Apply the task's ``fault`` directive, if it is due on this attempt.
+
+    Called at the top of a fault-aware worker function
+    (:func:`repro.faults.chaos._chaos_check_task`). The directive dict
+    comes from :meth:`FaultPlan.executor_fault` and rides inside the task
+    payload. Two guards keep injection safe: the fault fires only while
+    ``_attempt`` (stamped by ``run_tasks``) is within the directive's
+    ``attempts`` budget — so a retried task always has a clean path — and
+    never when ``_in_process`` marks the parent-process fallback, where a
+    ``crash`` would take down the whole run.
+    """
+    fault = task.get("fault")
+    if not fault or task.get("_in_process"):
+        return
+    if task.get("_attempt", 1) > fault.get("attempts", 1):
+        return
+    kind = fault["kind"]
+    if kind == "crash":
+        # A hard worker death: bypasses exception handling entirely, so
+        # the pool breaks exactly like a segfault would break it.
+        os._exit(CRASH_EXIT_CODE)
+    elif kind == "hang":
+        import time
+
+        time.sleep(float(fault.get("hang_s", 600.0)))
+    elif kind == "slow":
+        import time
+
+        time.sleep(float(fault.get("delay_s", 0.05)))
+    else:
+        raise ValueError(f"unknown executor fault kind {kind!r}")
+
+
+# -- cache-layer injection --------------------------------------------------
+
+def corrupt_cache_entries(cache, plan: FaultPlan,
+                          telemetry: Optional[Telemetry] = None) -> int:
+    """Damage on-disk cache entries per ``plan``; returns how many.
+
+    Each entry file is independently subject to ``plan.cache_fault`` by
+    filename (content-addressed names are stable across runs, so the
+    damaged set is deterministic per seed):
+
+    * ``truncate`` — keep only the first half of the file's bytes, which
+      breaks JSON parsing (→ quarantine as *unparseable*);
+    * ``bitflip`` — XOR one bit at a hash-chosen offset; the file may
+      still parse, but the checksum catches it (→ quarantine);
+    * ``stale`` — rewrite with the previous ``format`` number and a
+      *recomputed* checksum, modelling an entry left behind by an older
+      release (→ plain miss, no quarantine).
+    """
+    from ..parallel.cache import CACHE_FORMAT_VERSION, payload_checksum
+
+    corrupted = 0
+    for path in list(cache._entry_files()):
+        kind = plan.cache_fault(path.name)
+        if kind is None:
+            continue
+        try:
+            raw = path.read_bytes()
+            if kind == "truncate":
+                path.write_bytes(raw[: len(raw) // 2])
+            elif kind == "bitflip":
+                buf = bytearray(raw)
+                pos = site_hash(plan.seed, "cache.pos", path.name) % len(buf)
+                buf[pos] ^= 1 << (site_hash(plan.seed, "cache.bit",
+                                            path.name) % 8)
+                path.write_bytes(bytes(buf))
+            elif kind == "stale":
+                payload = json.loads(raw)
+                payload["format"] = CACHE_FORMAT_VERSION - 1
+                payload.pop("checksum", None)
+                payload["checksum"] = payload_checksum(payload)
+                path.write_text(json.dumps(payload))
+        except (OSError, ValueError):
+            continue
+        corrupted += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("faults.injected").inc()
+            telemetry.metrics.counter(f"faults.cache.{kind}").inc()
+    if telemetry is not None and corrupted:
+        telemetry.event("cache_corrupted", entries=corrupted,
+                        seed=plan.seed)
+    return corrupted

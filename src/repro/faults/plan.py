@@ -1,0 +1,175 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` is a pure function from *sites* to *decisions*: every
+"should a fault fire here?" question is answered by hashing the plan's
+seed together with a stable site key (a task name, a cache entry name, a
+drain ordinal). Nothing depends on wall-clock, iteration order, process
+identity, or how many questions were asked before — two runs with the
+same seed inject byte-identical fault sets, and a site's verdict can be
+recomputed offline. That is the determinism contract ``deepmc chaos``
+builds its invariants on (docs/FAULTS.md).
+
+The plan only *decides*; it never acts. :class:`~repro.faults.injector.
+FaultInjector` turns decisions into injected faults and counts them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: every injectable layer, in pipeline order
+LAYERS = ("nvm", "vm", "executor", "cache")
+
+#: executor fault kinds, in the order the rate bands are stacked
+EXECUTOR_KINDS = ("crash", "hang", "slow")
+
+#: cache corruption kinds
+CACHE_KINDS = ("truncate", "bitflip", "stale")
+
+
+def site_hash(*parts: Any) -> int:
+    """64-bit hash of a site key. Stable across processes and runs
+    (unlike ``hash()``, which is salted per interpreter)."""
+    text = "\x1f".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seed's complete fault policy across all four layers.
+
+    Rates are probabilities per site; the executor rates are stacked
+    bands of one uniform draw (so crash/hang/slow are mutually exclusive
+    for a given task). ``layers`` gates whole layers off.
+    """
+
+    seed: int
+    layers: Tuple[str, ...] = LAYERS
+    #: executor: per-task fault probabilities (first attempt only)
+    crash_rate: float = 0.12
+    hang_rate: float = 0.08
+    slow_rate: float = 0.15
+    #: cache: per-entry corruption probability
+    cache_corrupt_rate: float = 0.5
+    #: nvm (rate mode): per-drain / per-store-line fault probabilities —
+    #: the chaos campaign uses targeted directives instead, but rate mode
+    #: lets tests and ad-hoc runs shotgun the persist pipeline
+    nvm_drop_rate: float = 0.0
+    nvm_torn_rate: float = 0.0
+    nvm_evict_rate: float = 0.0
+    #: injected hang duration; far beyond any sane progress deadline
+    hang_s: float = 600.0
+    #: injected slow-start delay
+    slow_s: float = 0.05
+
+    # -- decision primitives ------------------------------------------------
+    def ratio(self, *site: Any) -> float:
+        """Uniform [0, 1) draw for one site, fixed by (seed, site)."""
+        return site_hash(self.seed, *site) / 2.0 ** 64
+
+    def decide(self, rate: float, *site: Any) -> bool:
+        return self.ratio(*site) < rate
+
+    def pick(self, options: Sequence[T], *site: Any) -> T:
+        """Deterministically choose one of ``options`` for this site."""
+        return options[site_hash(self.seed, *site) % len(options)]
+
+    def pick_int(self, low: int, high: int, *site: Any) -> int:
+        """Deterministic integer in [low, high] for this site."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        return low + site_hash(self.seed, *site) % (high - low + 1)
+
+    def order(self, items: Sequence[T], *site: Any) -> list:
+        """Deterministic seed-dependent shuffle (hash-ordered)."""
+        return sorted(items,
+                      key=lambda it: site_hash(self.seed, *site, repr(it)))
+
+    def enabled(self, layer: str) -> bool:
+        return layer in self.layers
+
+    # -- layer policies -----------------------------------------------------
+    def executor_fault(self, task_name: str) -> Optional[Dict[str, Any]]:
+        """Fault directive for one executor task, or None.
+
+        The directive is a JSON-able dict shipped inside the task payload
+        (it must survive pickling into the worker): ``kind`` plus the
+        parameters the injection needs. ``attempts: 1`` restricts the
+        fault to the task's first attempt, so the executor's retry always
+        has a clean path to success.
+        """
+        if not self.enabled("executor"):
+            return None
+        r = self.ratio("executor", task_name)
+        if r < self.crash_rate:
+            return {"kind": "crash", "attempts": 1}
+        if r < self.crash_rate + self.hang_rate:
+            return {"kind": "hang", "attempts": 1, "hang_s": self.hang_s}
+        if r < self.crash_rate + self.hang_rate + self.slow_rate:
+            return {"kind": "slow", "attempts": 1, "delay_s": self.slow_s}
+        return None
+
+    def cache_fault(self, entry_name: str) -> Optional[str]:
+        """Corruption kind for one cache entry file, or None."""
+        if not self.enabled("cache"):
+            return None
+        if not self.decide(self.cache_corrupt_rate, "cache", entry_name):
+            return None
+        return self.pick(CACHE_KINDS, "cache.kind", entry_name)
+
+    def nvm_drain_fault(self, ordinal: int) -> Optional[Tuple]:
+        """Rate-mode fault for the ``ordinal``-th fence drain, or None."""
+        if not self.enabled("nvm"):
+            return None
+        r = self.ratio("nvm.drain", ordinal)
+        if r < self.nvm_drop_rate:
+            return ("drop",)
+        if r < self.nvm_drop_rate + self.nvm_torn_rate:
+            return ("torn", self.torn_keep(ordinal))
+        return None
+
+    def nvm_spurious_evict(self, ordinal: int) -> bool:
+        """Rate-mode spurious eviction of the ``ordinal``-th store-line."""
+        return (self.enabled("nvm")
+                and self.decide(self.nvm_evict_rate, "nvm.evict", ordinal))
+
+    def torn_keep(self, *site: Any) -> int:
+        """How many bytes of a torn line reach the device: a nonzero
+        multiple of 8 strictly inside the cacheline, so a tear always
+        splits adjacent fields."""
+        from ..nvm.cacheline import CACHELINE
+
+        return 8 * self.pick_int(1, CACHELINE // 8 - 1, "torn.keep", *site)
+
+    def vm_crash_step(self, total_steps: int, *site: Any) -> int:
+        """Instruction index (1-based) to crash at, in [1, total_steps]."""
+        if total_steps <= 0:
+            return 0
+        return self.pick_int(1, total_steps, "vm.crash", *site)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "layers": list(self.layers),
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "slow_rate": self.slow_rate,
+            "cache_corrupt_rate": self.cache_corrupt_rate,
+            "nvm_drop_rate": self.nvm_drop_rate,
+            "nvm_torn_rate": self.nvm_torn_rate,
+            "nvm_evict_rate": self.nvm_evict_rate,
+            "hang_s": self.hang_s,
+            "slow_s": self.slow_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        data = dict(data)
+        data["layers"] = tuple(data.get("layers", LAYERS))
+        return cls(**data)

@@ -41,6 +41,7 @@ class PersistDomain:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         cache_capacity_lines: int = 8192,
         event_emitter: Optional[Callable[..., None]] = None,
+        fault_injector: Optional[object] = None,
     ):
         self._read_mem = memory_reader
         self.cost = cost_model
@@ -48,6 +49,11 @@ class PersistDomain:
         #: stream (store/flush/fence/write-back); None keeps the hot path
         #: at one attribute load + branch per event.
         self._emit = event_emitter
+        #: optional :class:`repro.faults.FaultInjector` (duck-typed:
+        #: ``nvm_drain_fault(line)`` / ``nvm_spurious_evict(line)``).
+        #: None keeps the fault-free hot path at one branch per fence
+        #: drain and per store.
+        self._faults = fault_injector
         self.stats = NVMStats()
         self.device = NVMDevice()
         self.cache = WriteBackCache(cache_capacity_lines)
@@ -79,15 +85,27 @@ class PersistDomain:
     def on_store(self, alloc_id: int, offset: int, size: int) -> None:
         """A store hit persistent memory: dirty the covered lines."""
         self.stats.persistent_stores += 1
+        lines = []
         for idx in lines_covering(offset, size):
             line = (alloc_id, idx)
             # A new store invalidates a pending-but-undrained flush of the
             # same line (its content snapshot would be stale on real HW
             # too: clwb persists whatever is in the line when it drains).
             self.cache.touch_dirty(line)
+            lines.append(line)
         if self._emit is not None:
             self._emit("persist.store", alloc=alloc_id, offset=offset,
                        size=size)
+        if self._faults is not None:
+            # Spurious eviction: the cache writes a just-dirtied line back
+            # on its own, before any flush/fence orders it — the
+            # "unpredictable cache evictions" failure mode, on demand.
+            # Checked after the store event is emitted so the recorded
+            # stream keeps content capture ahead of the write-back.
+            for line in lines:
+                if self.cache.is_dirty(line) and \
+                        self._faults.nvm_spurious_evict(line):
+                    self._write_back(line, evicted=True)
 
     def on_load(self, alloc_id: int, offset: int, size: int) -> None:
         self.stats.persistent_loads += 1
@@ -125,14 +143,34 @@ class PersistDomain:
                        pending=len(self._pending))
 
     def fence(self) -> int:
-        """Drain pending flushes; returns the number of lines persisted."""
+        """Drain pending flushes; returns the number of lines persisted.
+
+        With a fault injector attached, each drain may be *dropped* (the
+        clwb is silently lost: the line stays dirty and never reaches the
+        device — a later flush+fence can still persist it) or *torn*
+        (only the first ``keep`` bytes of the line reach the device, as
+        when power fails mid write-back). Both emit their own persist
+        event before the fence event so a recorded trace replays to the
+        same durable image the live device holds.
+        """
         self.stats.fences += 1
         self.stats.cycles += self.cost.fence
         drained = 0
         while self._pending:
             line, _ = self._pending.popitem(last=False)
-            self._write_back(line, evicted=False)
-            drained += 1
+            fault = (self._faults.nvm_drain_fault(line)
+                     if self._faults is not None else None)
+            if fault is None:
+                self._write_back(line, evicted=False)
+                drained += 1
+            elif fault[0] == "drop":
+                if self._emit is not None:
+                    self._emit("persist.drop", alloc=line[0], line=line[1])
+            elif fault[0] == "torn":
+                self._torn_write_back(line, int(fault[1]))
+                drained += 1
+            else:
+                raise ValueError(f"unknown NVM drain fault {fault!r}")
         if drained == 0:
             self.stats.fences_empty += 1
         if self._emit is not None:
@@ -159,6 +197,30 @@ class PersistDomain:
             if self._emit is not None:
                 self._emit("persist.evict", alloc=alloc_id, line=idx,
                            bytes=written)
+
+    def _torn_write_back(self, line: LineId, keep: int) -> None:
+        """Persist only the first ``keep`` bytes of a draining line.
+
+        Models a write-back racing power failure: the line is clean as
+        far as the cache is concerned, but the device holds a partial
+        update. The lost tail keeps its old durable content.
+        """
+        alloc_id, idx = line
+        size = self._alloc_sizes.get(alloc_id)
+        if size is None:
+            return  # allocation freed while line pending
+        start, end = line_span(idx)
+        end = min(end, size)
+        content = self._read_mem(alloc_id, start, end)
+        keep = max(0, min(keep, len(content)))
+        written = self.device.write_back_line(line, content[:keep])
+        self.cache.clean(line)
+        self._pending.pop(line, None)
+        self.stats.lines_written_back += 1
+        self.stats.nvm_write_bytes += written
+        self.stats.cycles += self.cost.nvm_line_writeback
+        if self._emit is not None:
+            self._emit("persist.torn", alloc=alloc_id, line=idx, keep=keep)
 
     # -- crash-state inspection --------------------------------------------------
     def pending_lines(self) -> List[LineId]:

@@ -13,6 +13,16 @@ written atomically (temp file + rename) so concurrent pool workers can
 share one cache directory without locking: the worst case is two workers
 computing the same entry and one rename winning, which is still correct.
 
+Corruption is a first-class condition, not an accident: every entry
+carries a ``checksum`` over its canonical JSON, verified on ``get()``.
+An entry that is unreadable, truncated, or bit-flipped — even one that
+still parses as JSON — is treated as a miss (the analysis is recomputed
+and the entry rewritten) and the damaged file is moved aside into
+``<root>/quarantine/`` for post-mortem instead of being silently
+overwritten. ``cache.corrupt`` / ``cache.quarantined`` metrics count the
+traffic; :mod:`repro.faults` injects exactly these corruptions to prove
+the miss path never changes detection results.
+
 The default root is ``$DEEPMC_CACHE_DIR``, else ``$XDG_CACHE_HOME/deepmc``,
 else ``~/.cache/deepmc``; ``--cache-dir`` overrides per invocation.
 """
@@ -36,7 +46,18 @@ from ..ir.printer import print_module
 from ..telemetry import Telemetry
 
 #: Bump on any incompatible change to the entry payload shape.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
+
+#: subdirectory (under the cache root) holding corrupt entries moved aside
+QUARANTINE_DIR = "quarantine"
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """Checksum of one entry's canonical JSON (``checksum`` key excluded)."""
+    canonical = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"},
+        sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def default_cache_dir() -> Path:
@@ -71,41 +92,75 @@ class CacheStats:
     root: str
     entries: int
     total_bytes: int
+    quarantined: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {"root": self.root, "entries": self.entries,
-                "total_bytes": self.total_bytes}
+                "total_bytes": self.total_bytes,
+                "quarantined": self.quarantined}
 
 
 class AnalysisCache:
-    """One content-addressed cache directory."""
+    """One content-addressed cache directory.
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    ``telemetry`` (optional) receives ``cache.corrupt`` /
+    ``cache.quarantined`` / ``cache.stale`` counters and a
+    ``cache_quarantine`` event per damaged entry.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.telemetry = telemetry
 
     # -- addressing ---------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
     # -- raw entry access ---------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Load one entry; any unreadable/corrupt/mismatched file is a
-        miss (the entry will simply be recomputed and rewritten)."""
+        """Load one verified entry; anything less is a miss.
+
+        * unreadable / truncated / checksum-mismatched files are
+          *corrupt*: quarantined (moved to ``<root>/quarantine/``) and
+          reported, then treated as a miss so the entry is recomputed;
+        * a parseable entry from an older ``format`` is merely *stale*:
+          a plain miss, overwritten by the recomputed entry.
+        """
         path = self._path(key)
+        if not path.exists():
+            return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._quarantine(path, key, "unparseable")
             return None
         if payload.get("format") != CACHE_FORMAT_VERSION:
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("cache.stale").inc()
+            return None
+        stored = payload.get("checksum")
+        if not stored or payload_checksum(payload) != stored:
+            self._quarantine(path, key, "checksum mismatch")
             return None
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Atomically write one entry (temp file + rename)."""
+        """Atomically write one checksummed entry (temp file + rename)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = dict(payload)
         payload["format"] = CACHE_FORMAT_VERSION
+        # Round-trip through JSON before checksumming so the digest is
+        # computed over exactly what get() will parse back (tuples become
+        # lists, keys become strings).
+        payload = json.loads(json.dumps(payload))
+        payload["checksum"] = payload_checksum(payload)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -118,15 +173,37 @@ class AnalysisCache:
                 pass
             raise
 
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        """Move one damaged entry aside; never raises."""
+        dest = self._quarantine_dir() / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            moved = True
+        except OSError:
+            moved = False
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("cache.corrupt").inc()
+            if moved:
+                self.telemetry.metrics.counter("cache.quarantined").inc()
+            self.telemetry.event("cache_quarantine", key=key, reason=reason,
+                                 quarantined=moved)
+
     # -- maintenance --------------------------------------------------------
     def _entry_files(self):
         if not self.root.is_dir():
             return
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
+            if not shard.is_dir() or shard.name == QUARANTINE_DIR:
                 continue
             for path in sorted(shard.glob("*.json")):
                 yield path
+
+    def quarantined_files(self):
+        qdir = self._quarantine_dir()
+        if not qdir.is_dir():
+            return []
+        return sorted(qdir.glob("*.json"))
 
     def stats(self) -> CacheStats:
         entries = 0
@@ -137,7 +214,8 @@ class AnalysisCache:
                 total += path.stat().st_size
             except OSError:
                 pass
-        return CacheStats(str(self.root), entries, total)
+        return CacheStats(str(self.root), entries, total,
+                          quarantined=len(self.quarantined_files()))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -188,6 +266,8 @@ def check_with_cache(
     checker = StaticChecker(module, model=model, telemetry=telemetry,
                             **checker_opts)
     model_name = checker.model.name
+    if cache is not None and cache.telemetry is None:
+        cache.telemetry = telemetry  # corruption metrics ride along
     if cache is None:
         report = checker.run()
         return CachedCheck(

@@ -11,21 +11,34 @@ worker spans into its own trace (``Tracer.adopt``) and folds worker
 metrics into its registry (``MetricsRegistry.merge``), so ``deepmc
 corpus --jobs 8 --profile`` still renders one coherent tree.
 
-Failure isolation: an exception inside a worker — or a worker process
-dying hard enough to break the pool — produces a per-program error
-payload, never a lost run. Results always come back in submission order,
-so parallel runs are deterministic and byte-identical to serial ones.
+Failure isolation and self-healing: an exception inside a worker degrades
+to a per-program error payload; a worker that *dies* (hard crash breaking
+the pool) or *hangs* (no progress within the deadline) triggers pool
+recovery — the broken pool is killed, a fresh one is built after an
+exponential backoff, and only the still-unfinished tasks are requeued.
+A task whose retry budget runs out falls back to in-process execution,
+so one stubborn worker never loses sibling results. Results always come
+back in submission order, so parallel runs are deterministic and
+byte-identical to serial ones — with or without injected faults
+(:mod:`repro.faults` exercises exactly these paths).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from typing import Any, Dict, List, Optional
 
 from ..telemetry import Telemetry
 from .cache import AnalysisCache, check_with_cache
+
+#: default number of re-submissions a task gets after its first attempt
+DEFAULT_MAX_RETRIES = 2
+#: default base of the exponential pool-rebuild backoff (seconds)
+DEFAULT_BACKOFF_S = 0.05
 
 
 def _check_program_task(task: Dict[str, Any]) -> Dict[str, Any]:
@@ -42,7 +55,7 @@ def _check_program_task(task: Dict[str, Any]) -> Dict[str, Any]:
         program = REGISTRY.program(name)
         tel = Telemetry() if task.get("telemetry") else None
         cache_dir = task.get("cache_dir")
-        cache = AnalysisCache(cache_dir) if cache_dir else None
+        cache = AnalysisCache(cache_dir, telemetry=tel) if cache_dir else None
         checker_opts = task.get("checker_opts") or {}
 
         span_obj = None
@@ -84,40 +97,157 @@ def _pool_context():
     return None
 
 
-def run_tasks(task_fn, tasks: List[Dict[str, Any]],
-              jobs: int = 1) -> List[Dict[str, Any]]:
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly wedged) pool down without waiting on its workers.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker running forever;
+    terminating the worker processes is the only way to reclaim the slot.
+    The ``_processes`` attribute is CPython-private but stable across
+    3.8–3.13; if it ever disappears the shutdown still proceeds, just
+    without the hard kill.
+    """
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _error_entry(task: Dict[str, Any], error: str) -> Dict[str, Any]:
+    return {"name": task.get("name"), "ok": False, "error": error}
+
+
+def _run_in_process(task_fn, task: Dict[str, Any],
+                    attempt: int) -> Dict[str, Any]:
+    """Last-resort fallback: run one task in the parent process."""
+    run = dict(task)
+    run["_attempt"] = attempt
+    run["_in_process"] = True
+    try:
+        return task_fn(run)
+    except Exception as exc:
+        return _error_entry(task, f"{type(exc).__name__}: {exc}")
+
+
+def run_tasks(
+    task_fn,
+    tasks: List[Dict[str, Any]],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    telemetry: Optional[Telemetry] = None,
+    in_process_fallback: bool = True,
+) -> List[Dict[str, Any]]:
     """Run ``task_fn`` over ``tasks`` on a process pool of ``jobs`` workers.
 
-    The shared fan-out core behind ``deepmc corpus --jobs N`` and
-    ``deepmc crashsim --jobs N``. ``task_fn`` must be module-level
-    (picklable) and each task a JSON-able dict with at least a ``name``
-    key. Guarantees:
+    The shared fan-out core behind ``deepmc corpus --jobs N``,
+    ``deepmc crashsim --jobs N``, and ``deepmc chaos``. ``task_fn`` must
+    be module-level (picklable) and each task a JSON-able dict with at
+    least a ``name`` key. Guarantees:
 
     * ``jobs <= 1`` runs the identical task function in-process (no
       pool), keeping serial and parallel paths byte-for-byte comparable;
     * results come back in submission order, so parallel output is
       deterministic;
-    * a worker that dies without returning (hard crash, broken pool,
-      unpicklable payload) degrades to a per-task
-      ``{"name", "ok": False, "error"}`` entry, never a lost run.
+    * a broken pool (a worker died hard) requeues every not-yet-finished
+      task on a fresh pool instead of failing them — one crashing worker
+      never loses sibling results;
+    * ``timeout`` is a progress deadline: if *no* task completes within
+      ``timeout`` seconds the pool is presumed wedged (a hung worker),
+      its processes are killed, and the unfinished tasks are requeued;
+    * each task gets at most ``max_retries`` re-submissions (with
+      exponential backoff between pool rebuilds); a task that exhausts
+      them runs once more in the parent process when
+      ``in_process_fallback`` is set, else degrades to a
+      ``{"name", "ok": False, "error"}`` entry;
+    * a plain exception raised by ``task_fn`` is deterministic — it
+      degrades to a per-task error entry immediately, with no retry.
+
+    Tasks are shipped with a ``_attempt`` key (1-based) so fault-aware
+    task functions (:mod:`repro.faults.chaos`) can restrict injection to
+    early attempts; ``_in_process`` marks the parent-process fallback.
+    Telemetry (optional) gets ``executor.retries`` / ``executor.timeouts``
+    / ``executor.pool_rebuilds`` / ``executor.fallbacks`` counters.
     """
     if jobs <= 1:
         return [task_fn(task) for task in tasks]
 
-    results: List[Dict[str, Any]] = []
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=_pool_context()) as pool:
-        futures = [pool.submit(task_fn, task) for task in tasks]
-        for task, future in zip(tasks, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                results.append({
-                    "name": task.get("name"),
-                    "ok": False,
-                    "error": f"{type(exc).__name__}: {exc}",
-                })
-    return results
+    metrics = telemetry.metrics if telemetry is not None else None
+    results: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(range(len(tasks)))
+    rebuilds = 0
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=jobs,
+                                   mp_context=_pool_context())
+        submitted: Dict[Any, int] = {}
+        for i in pending:
+            attempts[i] += 1
+            if attempts[i] > 1 and metrics is not None:
+                metrics.counter("executor.retries").inc()
+            run = dict(tasks[i])
+            run["_attempt"] = attempts[i]
+            submitted[pool.submit(task_fn, run)] = i
+        requeue: List[int] = []
+        stalled = False
+        not_done = set(submitted)
+        while not_done:
+            done, not_done = wait(not_done, timeout=timeout,
+                                  return_when=FIRST_COMPLETED)
+            if not done:
+                # Progress deadline expired: nothing finished within
+                # `timeout` seconds, so a worker is hung (or the pool is
+                # wedged). Kill it and requeue whatever is unfinished.
+                stalled = True
+                if metrics is not None:
+                    metrics.counter("executor.timeouts").inc()
+                if telemetry is not None:
+                    telemetry.event("executor_stall", timeout_s=timeout,
+                                    unfinished=len(not_done))
+                break
+            for future in done:
+                i = submitted[future]
+                try:
+                    results[i] = future.result()
+                except BrokenExecutor:
+                    requeue.append(i)
+                except Exception as exc:
+                    results[i] = _error_entry(
+                        tasks[i], f"{type(exc).__name__}: {exc}")
+        if stalled:
+            requeue.extend(submitted[f] for f in not_done)
+        if requeue or stalled:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+        if not requeue:
+            break
+        requeue.sort()
+        exhausted = [i for i in requeue if attempts[i] > max_retries]
+        pending = [i for i in requeue if attempts[i] <= max_retries]
+        for i in exhausted:
+            if metrics is not None:
+                metrics.counter("executor.fallbacks").inc()
+            if in_process_fallback:
+                results[i] = _run_in_process(task_fn, tasks[i],
+                                             attempts[i] + 1)
+            else:
+                results[i] = _error_entry(
+                    tasks[i],
+                    f"task failed after {attempts[i]} attempt(s) "
+                    f"(pool broken or deadline exceeded)")
+        if pending:
+            rebuilds += 1
+            if metrics is not None:
+                metrics.counter("executor.pool_rebuilds").inc()
+            if backoff_s > 0:
+                time.sleep(backoff_s * (2 ** (rebuilds - 1)))
+    # mypy-style guard: every slot is filled once the loop exits
+    return [r if r is not None else _error_entry(tasks[i], "task was lost")
+            for i, r in enumerate(results)]
 
 
 def check_programs(
@@ -126,12 +256,17 @@ def check_programs(
     cache_dir: Optional[str] = None,
     telemetry: bool = False,
     checker_opts: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = None,
+    executor_telemetry: Optional[Telemetry] = None,
 ) -> List[Dict[str, Any]]:
     """Check the named corpus programs, fanning out across ``jobs``
     worker processes; returns one payload per program, in input order.
 
     ``jobs <= 1`` runs the identical task function in-process (no pool),
     which keeps the serial and parallel paths byte-for-byte comparable.
+    ``executor_telemetry`` (the parent's live Telemetry, unlike the
+    ``telemetry`` bool that asks *workers* to record) receives the
+    executor's retry/timeout counters.
     """
     tasks = [
         {
@@ -142,4 +277,5 @@ def check_programs(
         }
         for name in names
     ]
-    return run_tasks(_check_program_task, tasks, jobs=jobs)
+    return run_tasks(_check_program_task, tasks, jobs=jobs, timeout=timeout,
+                     telemetry=executor_telemetry)

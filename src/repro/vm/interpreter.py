@@ -174,6 +174,7 @@ class Interpreter:
         seed: int = 0x9E3779B9,
         telemetry: Optional[Telemetry] = None,
         trace_instructions: bool = False,
+        fault_injector: Optional[object] = None,
     ):
         self.module = module
         self.memory = Memory()
@@ -187,8 +188,17 @@ class Interpreter:
         #: transaction events below interleave correctly with the
         #: store/flush/fence stream (crashsim replays that combined order).
         self._emit = emit
+        #: optional repro.faults.FaultInjector: NVM-layer faults go to the
+        #: persist domain; a VM-layer crash step becomes a CrashPoint.
+        self.fault_injector = fault_injector
         self.domain = PersistDomain(self.memory.read_alloc_bytes, cost_model,
-                                    event_emitter=emit)
+                                    event_emitter=emit,
+                                    fault_injector=fault_injector)
+        if (crash_point is None and fault_injector is not None
+                and getattr(fault_injector, "vm_crash_step", None)):
+            step = fault_injector.vm_crash_step()
+            if step:
+                crash_point = CrashPoint(at_step=step)
         self.cost = cost_model
         self.scheduler = scheduler or RoundRobinScheduler()
         self.max_steps = max_steps

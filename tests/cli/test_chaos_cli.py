@@ -1,0 +1,66 @@
+"""CLI surface of `deepmc chaos`: seed parsing, exit codes, output."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_seed_spec
+
+
+class TestSeedSpec:
+    def test_range_is_inclusive(self):
+        assert parse_seed_spec("0..3") == [0, 1, 2, 3]
+
+    def test_comma_list(self):
+        assert parse_seed_spec("7,2,7") == [7, 2, 7]
+
+    def test_mixed(self):
+        assert parse_seed_spec("1,4..6,9") == [1, 4, 5, 6, 9]
+
+    def test_single(self):
+        assert parse_seed_spec("5") == [5]
+
+    @pytest.mark.parametrize("spec", ["", "a", "3..", "..4", "1..x", "5..2"])
+    def test_garbage_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_seed_spec(spec)
+
+
+class TestChaosCommand:
+    # --framework pmfs limits the oracle set to pmfs_journal/pmfs_symlink
+    # and the corpus slice to the pmfs programs, keeping the smoke fast
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        rc = main(["chaos", "--seeds", "0", "--jobs", "1",
+                   "--layers", "nvm,vm", "--framework", "pmfs"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seed 0: ok" in out
+        assert "1 seed(s) run, 0 violation(s)" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        rc = main(["chaos", "--seeds", "1", "--jobs", "1",
+                   "--layers", "vm", "--framework", "pmfs",
+                   "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["seeds"] == [1]
+        assert doc["layers"] == ["vm"]
+        assert [r["seed"] for r in doc["results"]] == [1]
+
+    def test_bad_seed_spec_exits_two(self, capsys):
+        assert main(["chaos", "--seeds", "zero"]) == 2
+        assert "deepmc: error" in capsys.readouterr().err
+
+    def test_bad_layer_exits_two(self, capsys):
+        assert main(["chaos", "--seeds", "0", "--layers", "gamma-ray"]) == 2
+        assert "gamma-ray" in capsys.readouterr().err
+
+    def test_metrics_go_to_stderr(self, capsys):
+        main(["chaos", "--seeds", "0", "--jobs", "1", "--layers", "vm",
+              "--framework", "pmfs"])
+        captured = capsys.readouterr()
+        assert "chaos metrics:" in captured.err
+        assert "faults.vm.crash" in captured.err
+        assert "chaos metrics:" not in captured.out

@@ -1,0 +1,118 @@
+"""Chaos campaigns: the two invariants, determinism, and reporting.
+
+Campaign runs here use trimmed program sets and few seeds to stay fast;
+the full sweep (10 seeds, whole corpus) runs as the CI chaos job.
+"""
+
+import pytest
+
+from repro.crashsim.trace import record_trace
+from repro.faults import (
+    DEFAULT_NVM_PROGRAMS,
+    FaultPlan,
+    nvm_candidates,
+    run_chaos,
+)
+from tests.conftest import build_two_field_module
+
+#: small fast corpus slice for executor/cache phase tests
+CORPUS_SLICE = ["pmdk_btree_map", "pmdk_hashmap", "pmfs_journal",
+                "nvmdirect_locks"]
+
+
+class TestCandidates:
+    def test_two_field_module_candidate_census(self):
+        trace = record_trace(build_two_field_module())
+        cands = nvm_candidates(trace)
+        # 2 drains × (1 drop + 7 torn splits) + 2 store-lines × 1 evict
+        assert len(cands) == 18
+        kinds = [c[0] for c in cands]
+        assert kinds.count("drop") == 2
+        assert kinds.count("torn") == 14
+        assert kinds.count("evict") == 2
+        for kind, at, keep in cands:
+            assert (keep is None) == (kind != "torn")
+
+    def test_candidates_are_deterministic(self):
+        t1 = record_trace(build_two_field_module())
+        t2 = record_trace(build_two_field_module())
+        assert nvm_candidates(t1) == nvm_candidates(t2)
+
+
+class TestCampaign:
+    def test_all_invariants_hold_on_one_seed(self):
+        report = run_chaos(seeds=[3], jobs=2, deadline_s=5.0,
+                           corpus_programs=CORPUS_SLICE,
+                           nvm_programs=["pmfs_symlink", "pmdk_hashmap"])
+        assert report.ok, report.violations
+        (result,) = report.results
+        assert result.phases["corpus"]["fingerprint_match"]
+        assert result.phases["corpus"]["programs"] == len(CORPUS_SLICE)
+        assert result.phases["nvm"]["surfaced"] == 2
+        assert result.phases["vm"]["failing"] == 0
+
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(seeds=[1], jobs=2, deadline_s=5.0,
+                      corpus_programs=CORPUS_SLICE[:2],
+                      nvm_programs=["pmfs_symlink"])
+        assert run_chaos(**kwargs).to_dict() == run_chaos(**kwargs).to_dict()
+
+    def test_serial_jobs_disable_executor_faults(self):
+        report = run_chaos(seeds=[0], jobs=1, layers=("executor", "cache"),
+                           corpus_programs=CORPUS_SLICE[:2])
+        assert report.ok
+        phase = report.results[0].phases["corpus"]
+        assert phase["executor_faults"] == 0
+        assert phase["fingerprint_match"]
+
+    def test_unsurfaceable_oracle_is_reported_as_violation(self):
+        # mnemosyne_phlog's oracle is a sanity check that cannot observe
+        # lost durability — the exact shape of invariant-(b) violation
+        report = run_chaos(seeds=[0], layers=("nvm",),
+                           nvm_programs=["mnemosyne_phlog"],
+                           max_candidates=64)
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation["phase"] == "nvm"
+        assert violation["program"] == "mnemosyne_phlog"
+
+    def test_layer_selection_skips_phases(self):
+        report = run_chaos(seeds=[0], layers=("vm",),
+                           nvm_programs=["pmfs_symlink"])
+        assert set(report.results[0].phases) == {"vm"}
+        assert report.ok
+
+    def test_unknown_program_fails_fast(self):
+        with pytest.raises(Exception):
+            run_chaos(seeds=[0], corpus_programs=["no_such_program"])
+
+    def test_oracle_required_for_nvm_programs(self):
+        with pytest.raises(ValueError):
+            run_chaos(seeds=[0], nvm_programs=["pmdk_rbtree_map"])
+
+
+class TestDefaults:
+    def test_default_nvm_programs_have_oracles(self):
+        from repro.corpus import REGISTRY
+
+        for name in DEFAULT_NVM_PROGRAMS:
+            assert REGISTRY.program(name).oracle is not None
+
+    def test_report_dict_shape(self):
+        report = run_chaos(seeds=[0], layers=("vm",),
+                           nvm_programs=["pmfs_symlink"])
+        doc = report.to_dict()
+        assert set(doc) == {"seeds", "jobs", "deadline_s", "layers",
+                            "corpus_programs", "nvm_programs", "ok",
+                            "results", "violations"}
+        assert doc["ok"] is True
+        assert doc["results"][0]["seed"] == 0
+
+
+class TestPlanIntegration:
+    def test_seeded_search_order_varies_by_seed(self):
+        trace = record_trace(build_two_field_module())
+        cands = nvm_candidates(trace)
+        orders = {tuple(FaultPlan(s).order(cands, "nvm.search", "m")[:5])
+                  for s in range(8)}
+        assert len(orders) > 1

@@ -1,0 +1,185 @@
+"""FaultInjector: targeted NVM faults, live/replay coherence, cache
+corruption. The coherence tests are the load-bearing ones — an injected
+fault is only useful if the recorded trace replays to exactly the
+durable image the live device holds."""
+
+import pytest
+
+from repro.crashsim.enumerate import ReplayState
+from repro.crashsim.trace import record_trace
+from repro.faults import FaultInjector, FaultPlan, corrupt_cache_entries
+from repro.parallel import AnalysisCache, check_with_cache
+from repro.telemetry import Telemetry
+from tests.conftest import build_two_field_module
+
+
+def _replayed_durable(trace):
+    replay = ReplayState(trace.alloc_sizes)
+    for ev in trace.events:
+        replay.apply(ev)
+    return {aid: bytes(buf) for aid, buf in replay.durable.items()}
+
+
+def _live_durable(trace):
+    return trace.interpreter.domain.durable_snapshot()
+
+
+def _fields(image):
+    (data,) = image.values()
+    return (int.from_bytes(data[:8], "little"),
+            int.from_bytes(data[8:16], "little"))
+
+
+class TestDirectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(nvm_directive={"kind": "meteor", "at": 0})
+
+    def test_torn_needs_keep(self):
+        with pytest.raises(ValueError):
+            FaultInjector(nvm_directive={"kind": "torn", "at": 0})
+
+
+class TestNvmDirectives:
+    # build_two_field_module: store a=1, flush, fence (drain #0);
+    # store b=2, flush, fence (drain #1); both fields share one cacheline.
+
+    def test_clean_run_persists_both_fields(self):
+        trace = record_trace(build_two_field_module())
+        assert _fields(_live_durable(trace)) == (1, 2)
+
+    def test_drop_of_last_drain_loses_the_update(self):
+        inj = FaultInjector(nvm_directive={"kind": "drop", "at": 1})
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        assert inj.injected == [("nvm.drop", (1, (1, 0)))]
+        assert _fields(_live_durable(trace)) == (1, 0)
+
+    def test_dropped_line_can_still_persist_later(self):
+        # drop drain #0: the line stays dirty, so the second flush+fence
+        # re-persists it — the fault is masked, final image is clean
+        inj = FaultInjector(nvm_directive={"kind": "drop", "at": 0})
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        assert inj.injected_count == 1
+        assert _fields(_live_durable(trace)) == (1, 2)
+
+    def test_torn_drain_persists_a_prefix(self):
+        inj = FaultInjector(nvm_directive={"kind": "torn", "at": 1,
+                                           "keep": 8})
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        # 8 of 16 bytes arrive: field a (already durable), not field b
+        assert _fields(_live_durable(trace)) == (1, 0)
+
+    def test_spurious_evict_persists_unflushed_store(self):
+        # flush_both=False never flushes field b; evicting the line at
+        # the b store (store-line consultation #1) persists it anyway
+        inj = FaultInjector(nvm_directive={"kind": "evict", "at": 1})
+        trace = record_trace(build_two_field_module(flush_both=False),
+                             fault_injector=inj)
+        assert inj.injected == [("nvm.evict", (1, (1, 0)))]
+        assert _fields(_live_durable(trace)) == (1, 2)
+        clean = record_trace(build_two_field_module(flush_both=False))
+        assert _fields(_live_durable(clean)) == (1, 0)
+
+    @pytest.mark.parametrize("directive", [
+        {"kind": "drop", "at": 0},
+        {"kind": "drop", "at": 1},
+        {"kind": "torn", "at": 0, "keep": 8},
+        {"kind": "torn", "at": 1, "keep": 8},
+        {"kind": "evict", "at": 0},
+        {"kind": "evict", "at": 1},
+    ])
+    def test_replay_matches_live_device(self, directive):
+        """The recorded fault events make offline replay land on the
+        exact durable image the live (faulted) device holds."""
+        inj = FaultInjector(nvm_directive=directive)
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        assert _replayed_durable(trace) == _live_durable(trace)
+
+    def test_metrics_and_events_recorded(self):
+        tel = Telemetry()
+        inj = FaultInjector(nvm_directive={"kind": "drop", "at": 1},
+                            telemetry=tel)
+        record_trace(build_two_field_module(), fault_injector=inj)
+        snap = tel.metrics.snapshot()
+        assert snap["faults.injected"] == 1
+        assert snap["faults.nvm.drop"] == 1
+
+
+class TestVmCrash:
+    def test_crash_truncates_execution(self):
+        clean = record_trace(build_two_field_module())
+        total = clean.result.steps
+        inj = FaultInjector(vm_crash_at=3)
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        assert trace.result.crashed
+        assert trace.result.steps < total
+        assert len(trace.events) < len(clean.events)
+        assert inj.injected == [("vm.crash", 3)]
+
+    def test_truncated_events_are_a_prefix(self):
+        clean = record_trace(build_two_field_module())
+        inj = FaultInjector(vm_crash_at=4)
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        kinds = [e.kind for e in trace.events]
+        assert kinds == [e.kind for e in clean.events][: len(kinds)]
+
+
+class TestRateMode:
+    def test_plan_rate_mode_injects_and_counts(self):
+        plan = FaultPlan(0, nvm_drop_rate=1.0)
+        inj = FaultInjector(plan=plan)
+        trace = record_trace(build_two_field_module(), fault_injector=inj)
+        # every drain dropped: nothing ever reaches the device
+        assert _fields(_live_durable(trace)) == (0, 0)
+        assert inj.injected_count == 2
+        assert _replayed_durable(trace) == _live_durable(trace)
+
+
+class TestCacheCorruption:
+    def _populated(self, tmp_path):
+        cache = AnalysisCache(tmp_path / "cache")
+        check_with_cache(build_two_field_module(flush_both=False), cache)
+        check_with_cache(build_two_field_module(flush_both=True), cache)
+        return cache
+
+    def test_corruption_is_deterministic(self, tmp_path):
+        plan = FaultPlan(4, cache_corrupt_rate=0.5)
+        a = corrupt_cache_entries(self._populated(tmp_path / "a"), plan)
+        b = corrupt_cache_entries(self._populated(tmp_path / "b"), plan)
+        assert a == b
+
+    def test_full_rate_corrupts_everything_and_recovers(self, tmp_path):
+        tel = Telemetry()
+        cache = self._populated(tmp_path)
+        cache.telemetry = tel
+        n = corrupt_cache_entries(cache, FaultPlan(0, cache_corrupt_rate=1.0),
+                                  telemetry=tel)
+        assert n == 2
+        # every corrupted entry must read back as a miss...
+        baseline = check_with_cache(
+            build_two_field_module(flush_both=False), None)
+        again = check_with_cache(
+            build_two_field_module(flush_both=False), cache)
+        assert not again.hit
+        # ...with identical detection results
+        assert again.report.to_dict() == baseline.report.to_dict()
+        snap = tel.metrics.snapshot()
+        assert snap["faults.injected"] == 2
+        # truncate/bitflip quarantine; stale is a plain miss
+        assert snap.get("cache.quarantined", 0) + \
+            snap.get("cache.stale", 0) >= 1
+
+    def test_stale_entries_miss_without_quarantine(self, tmp_path):
+        tel = Telemetry()
+        cache = self._populated(tmp_path)
+        cache.telemetry = tel
+        # layers seed chosen so at least one entry goes stale
+        plan = FaultPlan(0, cache_corrupt_rate=1.0)
+        kinds = [plan.cache_fault(p.name) for p in cache._entry_files()]
+        corrupt_cache_entries(cache, plan, telemetry=tel)
+        check_with_cache(build_two_field_module(flush_both=False), cache)
+        check_with_cache(build_two_field_module(flush_both=True), cache)
+        snap = tel.metrics.snapshot()
+        assert snap.get("cache.stale", 0) == kinds.count("stale")
+        assert snap.get("cache.quarantined", 0) == \
+            kinds.count("truncate") + kinds.count("bitflip")

@@ -1,0 +1,114 @@
+"""FaultPlan: the (seed, site) → decision function chaos is built on."""
+
+import pytest
+
+from repro.faults import CACHE_KINDS, EXECUTOR_KINDS, FaultPlan, site_hash
+from repro.nvm.cacheline import CACHELINE
+
+NAMES = [f"prog_{i}" for i in range(64)]
+
+
+class TestSiteHash:
+    def test_stable_across_calls(self):
+        assert site_hash(7, "a", 3) == site_hash(7, "a", 3)
+
+    def test_distinct_sites_distinct_hashes(self):
+        values = {site_hash(7, "site", i) for i in range(256)}
+        assert len(values) == 256
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert site_hash("ab", "c") != site_hash("a", "bc")
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a, b = FaultPlan(42), FaultPlan(42)
+        assert [a.executor_fault(n) for n in NAMES] == \
+            [b.executor_fault(n) for n in NAMES]
+        assert [a.cache_fault(n) for n in NAMES] == \
+            [b.cache_fault(n) for n in NAMES]
+
+    def test_different_seeds_differ_somewhere(self):
+        a, b = FaultPlan(0), FaultPlan(1)
+        assert [a.executor_fault(n) for n in NAMES] != \
+            [b.executor_fault(n) for n in NAMES]
+
+    def test_decisions_independent_of_question_order(self):
+        plan = FaultPlan(9)
+        forward = [plan.cache_fault(n) for n in NAMES]
+        backward = [plan.cache_fault(n) for n in reversed(NAMES)]
+        assert forward == list(reversed(backward))
+
+    def test_order_is_a_deterministic_permutation(self):
+        plan = FaultPlan(5)
+        shuffled = plan.order(NAMES, "x")
+        assert sorted(shuffled) == sorted(NAMES)
+        assert shuffled == plan.order(NAMES, "x")
+        assert shuffled != plan.order(NAMES, "y")
+
+
+class TestPolicies:
+    def test_executor_kinds_are_bands_of_one_draw(self):
+        plan = FaultPlan(3, crash_rate=0.2, hang_rate=0.2, slow_rate=0.2)
+        kinds = [f["kind"] for n in NAMES
+                 if (f := plan.executor_fault(n)) is not None]
+        assert kinds and set(kinds) <= set(EXECUTOR_KINDS)
+
+    def test_certain_crash_rate_always_crashes(self):
+        plan = FaultPlan(3, crash_rate=1.0)
+        assert all(plan.executor_fault(n)["kind"] == "crash" for n in NAMES)
+
+    def test_executor_faults_budgeted_to_first_attempt(self):
+        fault = FaultPlan(3, crash_rate=1.0).executor_fault("t")
+        assert fault["attempts"] == 1
+
+    def test_cache_kinds(self):
+        plan = FaultPlan(11, cache_corrupt_rate=1.0)
+        kinds = {plan.cache_fault(n) for n in NAMES}
+        assert kinds == set(CACHE_KINDS)
+
+    def test_layer_gating(self):
+        plan = FaultPlan(3, layers=(), crash_rate=1.0,
+                         cache_corrupt_rate=1.0, nvm_drop_rate=1.0,
+                         nvm_evict_rate=1.0)
+        assert plan.executor_fault("t") is None
+        assert plan.cache_fault("e") is None
+        assert plan.nvm_drain_fault(0) is None
+        assert not plan.nvm_spurious_evict(0)
+
+    def test_rate_mode_drain_faults(self):
+        plan = FaultPlan(3, nvm_drop_rate=0.5, nvm_torn_rate=0.5)
+        faults = [plan.nvm_drain_fault(i) for i in range(64)]
+        assert {f[0] for f in faults} == {"drop", "torn"}
+        for f in faults:
+            if f[0] == "torn":
+                assert 0 < f[1] < CACHELINE and f[1] % 8 == 0
+
+    def test_torn_keep_splits_the_line(self):
+        plan = FaultPlan(3)
+        for i in range(32):
+            keep = plan.torn_keep("p", i)
+            assert 0 < keep < CACHELINE
+            assert keep % 8 == 0
+
+    def test_vm_crash_step_in_range(self):
+        plan = FaultPlan(3)
+        steps = {plan.vm_crash_step(20, f"p{i}") for i in range(64)}
+        assert steps <= set(range(1, 21))
+        assert len(steps) > 1
+        assert plan.vm_crash_step(0, "p") == 0
+
+    def test_pick_int_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            FaultPlan(0).pick_int(5, 4, "x")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(17, layers=("nvm", "cache"), crash_rate=0.5,
+                         nvm_torn_rate=0.25)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_defaults_layers(self):
+        assert FaultPlan.from_dict({"seed": 2}).layers == \
+            ("nvm", "vm", "executor", "cache")

@@ -109,6 +109,93 @@ class TestCheckWithCache:
         assert not check_with_cache(build_two_field_module(), cache).hit
 
 
+class TestChecksumIntegrity:
+    def _entry(self, cache):
+        checked = check_with_cache(build_two_field_module(), cache)
+        return checked.key, cache._path(checked.key)
+
+    def test_entries_carry_a_valid_checksum(self, cache):
+        from repro.parallel.cache import payload_checksum
+
+        key, path = self._entry(cache)
+        payload = json.loads(path.read_text())
+        assert payload["checksum"] == payload_checksum(payload)
+        assert cache.get(key) is not None
+
+    def test_bitflipped_entry_is_quarantined(self, cache):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        cache.telemetry = tel
+        key, path = self._entry(cache)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x04
+        path.write_bytes(bytes(raw))
+        assert cache.get(key) is None
+        assert not path.exists()
+        assert len(cache.quarantined_files()) == 1
+        snap = tel.metrics.snapshot()
+        assert snap["cache.corrupt"] == 1
+        assert snap["cache.quarantined"] == 1
+        # the recomputed entry goes back to the primary location
+        again = check_with_cache(build_two_field_module(), cache)
+        assert not again.hit
+        assert path.exists()
+
+    def test_truncated_entry_is_quarantined(self, cache):
+        key, path = self._entry(cache)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert cache.get(key) is None
+        assert len(cache.quarantined_files()) == 1
+
+    def test_missing_checksum_is_corrupt(self, cache):
+        key, path = self._entry(cache)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert len(cache.quarantined_files()) == 1
+
+    def test_stale_format_misses_without_quarantine(self, cache):
+        from repro.parallel.cache import (
+            CACHE_FORMAT_VERSION,
+            payload_checksum,
+        )
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        cache.telemetry = tel
+        key, path = self._entry(cache)
+        payload = json.loads(path.read_text())
+        payload["format"] = CACHE_FORMAT_VERSION - 1
+        del payload["checksum"]
+        payload["checksum"] = payload_checksum(payload)
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert path.exists()  # stale ≠ corrupt: left for overwrite
+        assert cache.quarantined_files() == []
+        assert tel.metrics.snapshot()["cache.stale"] == 1
+
+    def test_stats_count_quarantined_entries(self, cache):
+        key, path = self._entry(cache)
+        path.write_bytes(b"\x00garbage")
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert stats.entries == 0
+        assert stats.quarantined == 1
+        assert stats.as_dict()["quarantined"] == 1
+
+    def test_quarantine_does_not_shadow_entries(self, cache):
+        """Files in quarantine/ are invisible to stats() and clear()."""
+        key, path = self._entry(cache)
+        path.write_text("{broken")
+        cache.get(key)
+        assert cache.stats().entries == 0
+        assert cache.clear() == 0
+        assert len(cache.quarantined_files()) == 1
+
+
 class TestCacheAdmin:
     def test_stats_and_clear(self, cache):
         assert cache.stats().entries == 0
