@@ -242,7 +242,8 @@ def cmd_crashsim(args: argparse.Namespace) -> int:
     # coordinates) so --jobs N output is byte-identical to serial;
     # profile/metrics go to stderr like the corpus command's cache line
     if args.format == "json":
-        print(json.dumps(results_payload(payloads), indent=2))
+        print(json.dumps(results_payload(payloads), indent=2,
+                         sort_keys=True))
     else:
         print(render_results(payloads))
     if getattr(args, "profile", False) and tel is not None:
@@ -306,7 +307,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         telemetry=tel,
     )
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2))
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(render_chaos(report))
     # Fault/recovery traffic counts are timing-dependent (how many tasks
@@ -323,6 +324,48 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(tel.profile(), file=sys.stderr)
     tel.close()
     return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import FUZZ_MODELS, render_fuzz, run_fuzz
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"deepmc: error: {exc}", file=sys.stderr)
+        return 2
+    if args.model is not None and args.model not in FUZZ_MODELS:
+        print(f"deepmc: error: unknown model {args.model!r} "
+              f"(choose from {', '.join(FUZZ_MODELS)})", file=sys.stderr)
+        return 2
+    tel = _telemetry_for(args)
+    report = run_fuzz(
+        seeds=seeds,
+        budget=args.budget,
+        jobs=args.jobs,
+        model=args.model,
+        max_states=args.max_states,
+        shrink=not args.no_shrink,
+        artifacts_dir=args.artifacts,
+        telemetry=tel,
+    )
+    # the report excludes jobs/timing, so --jobs N stdout is
+    # byte-identical to serial (same guarantee as crashsim/chaos)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_fuzz(report))
+    if getattr(args, "profile", False) and tel is not None:
+        print(tel.profile(), file=sys.stderr)
+    if tel is not None:
+        tel.close()
+    if report["errors"]:
+        for err in report["errors"]:
+            last = err["error"].strip().splitlines()[-1]
+            print(f"deepmc: fuzz failed for {err['name']}: {last}",
+                  file=sys.stderr)
+        return 2
+    return 1 if report["disagreements"] else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -539,6 +582,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="campaign report format")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated IR programs with known "
+             "verdicts cross-validate the static checker, crashsim, and "
+             "dynamic checker against each other",
+    )
+    p.add_argument("--seeds", default="0..9", metavar="SPEC",
+                   help="seed sweep: '0..9', '0,3,7', or '5' "
+                        "(default: 0..9)")
+    p.add_argument("--budget", type=int, default=8, metavar="N",
+                   help="programs generated per seed (default: 8)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="fan seeds out over N worker processes "
+                        "(default: 1, serial; output is byte-identical "
+                        "either way)")
+    p.add_argument("--model", choices=["strict", "epoch", "strand"],
+                   default=None,
+                   help="pin the persistency model (default: the seed "
+                        "picks per program)")
+    p.add_argument("--max-states", type=int, default=2048, metavar="N",
+                   help="crash-image budget per program (default: 2048)")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="write shrunk .nvmir repros + disagreement "
+                        "records here (only on disagreement)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report disagreements unshrunk (faster triage "
+                        "of wide breakage)")
+    _add_observability_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is machine-readable and "
+                        "schema-stable)")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "cache",

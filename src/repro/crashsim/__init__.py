@@ -46,6 +46,7 @@ from .engine import (
     DEFAULT_MAX_LINES,
     DEFAULT_MAX_STATES,
     CrashSimReport,
+    count_failing_images,
     render_report,
     render_results,
     results_payload,
@@ -76,6 +77,7 @@ __all__ = [
     "TraceRecorder",
     "Verdict",
     "classify_image",
+    "count_failing_images",
     "enumerate_crash_images",
     "record_trace",
     "render_report",

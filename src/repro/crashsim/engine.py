@@ -41,6 +41,24 @@ DEFAULT_MAX_STATES = 4096
 DEFAULT_MAX_LINES = 14
 
 
+def count_failing_images(enumeration: Enumeration, oracle: Oracle,
+                         recording, module) -> int:
+    """Number of enumerated images ``oracle`` classifies as failing.
+
+    The boiled-down enumerate→classify loop shared by the chaos
+    invariants ("an injected NVM fault must surface as a failing image")
+    and the fuzz differential oracle ("a seeded persistency bug must
+    surface as a failing image"). ``recording`` is the interpreter that
+    produced the trace (its allocations give images their shape).
+    """
+    failing = 0
+    for img in enumeration.images:
+        verdict = classify_image(img, oracle, recording, module)
+        if verdict.outcome in FAILING_OUTCOMES:
+            failing += 1
+    return failing
+
+
 @dataclass
 class CrashSimReport:
     """Result of crash-simulating one program."""

@@ -236,17 +236,12 @@ def _divergent_programs(base_fp: str, got_fp: str) -> List[str]:
 
 def _failing_images(trace, model: str, oracle, module,
                     max_states: int, max_lines: int) -> int:
+    from ..crashsim.engine import count_failing_images
     from ..crashsim.enumerate import enumerate_crash_images
-    from ..crashsim.oracle import FAILING_OUTCOMES, classify_image
 
     enum = enumerate_crash_images(trace, model, max_states=max_states,
                                   max_lines=max_lines)
-    failing = 0
-    for img in enum.images:
-        verdict = classify_image(img, oracle, trace.interpreter, module)
-        if verdict.outcome in FAILING_OUTCOMES:
-            failing += 1
-    return failing
+    return count_failing_images(enum, oracle, trace.interpreter, module)
 
 
 def nvm_candidates(trace) -> List[Tuple]:

@@ -1,0 +1,79 @@
+"""Differential IR fuzzer: generate, mutate, cross-validate, shrink.
+
+See docs/FUZZING.md. Public surface:
+
+* :func:`~repro.fuzz.generator.generate_program` — seeded clean programs
+* :func:`~repro.fuzz.mutate.enumerate_mutations` /
+  :func:`~repro.fuzz.mutate.apply_mutation` — seeded bug classes
+* :func:`~repro.fuzz.oracle.evaluate_program` — run all three engines
+  and diff against the expectation simulators
+* :func:`~repro.fuzz.shrink.shrink_program` — minimize a disagreement
+* :func:`~repro.fuzz.campaign.run_fuzz` — the ``deepmc fuzz`` campaign
+"""
+
+from .campaign import (
+    DEFAULT_BUDGET,
+    DISAGREEMENT_SCHEMA,
+    MUTATION_RATE,
+    REPORT_SCHEMA,
+    build_program,
+    fuzz_program,
+    render_fuzz,
+    run_fuzz,
+    write_artifacts,
+)
+from .expect import (
+    expected_crashsim_failing,
+    expected_dynamic_rules,
+    expected_static_rules,
+)
+from .generator import FUZZ_MODELS, generate_program
+from .mutate import MUTATION_KINDS, Mutation, apply_mutation, enumerate_mutations
+from .oracle import (
+    Expectation,
+    Observation,
+    build_oracle,
+    diff_program,
+    diff_signature,
+    evaluate_program,
+    expect_program,
+    observe_program,
+)
+from .shrink import ShrinkResult, shrink_diffs, shrink_program
+from .spec import ROOT, ProgramSpec, UnitSpec, field_range
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DISAGREEMENT_SCHEMA",
+    "Expectation",
+    "MUTATION_RATE",
+    "REPORT_SCHEMA",
+    "FUZZ_MODELS",
+    "MUTATION_KINDS",
+    "Mutation",
+    "Observation",
+    "ProgramSpec",
+    "ROOT",
+    "ShrinkResult",
+    "UnitSpec",
+    "apply_mutation",
+    "build_oracle",
+    "build_program",
+    "diff_program",
+    "diff_signature",
+    "enumerate_mutations",
+    "evaluate_program",
+    "expect_program",
+    "expected_crashsim_failing",
+    "expected_dynamic_rules",
+    "expected_static_rules",
+    "field_range",
+    "fuzz_program",
+    "generate_program",
+    "observe_program",
+    "render_fuzz",
+    "run_fuzz",
+    "shrink_diffs",
+    "shrink_program",
+    "write_artifacts",
+]

@@ -1,0 +1,174 @@
+"""Seeded program generator.
+
+Programs are random compositions of per-model *templates* — the persist
+idioms of the corpus, reduced to their skeletons — over disjoint
+persistent objects (unit ``i`` owns object ``i``):
+
+========  =======  =====================================================
+model     template  op skeleton
+========  =======  =====================================================
+strict    plain    store f0 · flush f0 · fence
+strict    multi    (store fk · flush fk · fence) for k in 0,1
+strict    tx       txbegin · txadd · store f0 · txend
+epoch     epoch    epoch{ store f0 · flush f0 } · fence
+epoch     epoch2   epoch{ store f0 · flush f0 · store f1 · flush f1 } · fence
+epoch     tx       txbegin · txadd · store f0 · txend
+strand    strand   strand{ (store fk · flush fk)+ }   (+ one trailing fence)
+========  =======  =====================================================
+
+Structure dimensions, drawn from one seeded RNG per (seed, index):
+2–4 units, helper-call depth 0–2 per unit (the unit body moves into a
+helper function, or a helper calling a helper — exercising the DSA's
+interprocedural argument resolution), and at most one counted-loop unit
+per program (2–3 iterations; bounded so trace-path enumeration never
+truncates mid-program).
+
+Every generated program is **clean**: full persist discipline, zero
+expected warnings from all three engines, zero failing crash images.
+Bugs enter exclusively through :mod:`repro.fuzz.mutate`, which keeps the
+expected verdict derivable.
+
+Determinism: ``generate_program(seed, index)`` is a pure function — the
+RNG is seeded with :func:`repro.faults.plan.site_hash`, and nothing else
+is consulted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..faults.plan import site_hash
+from .spec import Op, ProgramSpec, UnitSpec
+
+#: the persistency models the fuzzer cycles through when unpinned
+FUZZ_MODELS = ("strict", "epoch", "strand")
+
+
+def _value(rng: random.Random) -> int:
+    """A payload value: small, nonzero (zero is the never-written state)."""
+    return rng.randint(1, 99)
+
+
+def _helper_depth(rng: random.Random) -> int:
+    r = rng.random()
+    if r < 0.25:
+        return 1
+    if r < 0.35:
+        return 2
+    return 0
+
+
+def _plain_ops(i: int, rng: random.Random) -> Tuple[Op, ...]:
+    return (("store", i, 0, _value(rng)), ("flush", i, 0), ("fence",))
+
+
+def _multi_ops(i: int, rng: random.Random) -> Tuple[Op, ...]:
+    return (
+        ("store", i, 0, _value(rng)), ("flush", i, 0), ("fence",),
+        ("store", i, 1, _value(rng)), ("flush", i, 1), ("fence",),
+    )
+
+
+def _tx_ops(i: int, rng: random.Random) -> Tuple[Op, ...]:
+    # undo-log first, then modify: the snapshot must be the pre-image
+    return (("tx_begin",), ("tx_add", i),
+            ("store", i, 0, _value(rng)), ("tx_end",))
+
+
+def _epoch_ops(i: int, rng: random.Random) -> Tuple[Op, ...]:
+    return (("epoch_begin",), ("store", i, 0, _value(rng)),
+            ("flush", i, 0), ("epoch_end",), ("fence",))
+
+
+def _epoch2_ops(i: int, rng: random.Random) -> Tuple[Op, ...]:
+    return (
+        ("epoch_begin",),
+        ("store", i, 0, _value(rng)), ("flush", i, 0),
+        ("store", i, 1, _value(rng)), ("flush", i, 1),
+        ("epoch_end",), ("fence",),
+    )
+
+
+def _strand_ops(i: int, nf: int, rng: random.Random) -> Tuple[Op, ...]:
+    ops: List[Op] = [("strand_begin",)]
+    for f in range(nf):
+        ops.append(("store", i, f, _value(rng)))
+        ops.append(("flush", i, f))
+    ops.append(("strand_end",))
+    return tuple(ops)
+
+
+def generate_program(seed: int, index: int,
+                     model: Optional[str] = None) -> ProgramSpec:
+    """The ``index``-th clean program of ``seed`` (pure and deterministic)."""
+    rng = random.Random(site_hash("fuzz", seed, index))
+    model = model or FUZZ_MODELS[rng.randrange(len(FUZZ_MODELS))]
+    n_units = rng.randint(2, 4)
+    units: List[UnitSpec] = []
+    field_counts: List[int] = []
+    loop_used = False
+
+    for i in range(n_units):
+        if model == "strand":
+            nf = rng.randint(1, 2)
+            units.append(UnitSpec(i, "strand", _strand_ops(i, nf, rng),
+                                  helper_depth=_helper_depth(rng)))
+            field_counts.append(nf)
+            continue
+
+        r = rng.random()
+        loop_count = 0
+        if model == "strict":
+            if r < 0.35:
+                template = "plain"
+            elif r < 0.55:
+                template = "multi"
+            elif r < 0.80:
+                template = "tx"
+            elif not loop_used:
+                template, loop_count = "plain", rng.randint(2, 3)
+                loop_used = True
+            else:
+                template = "plain"
+            ops = {"plain": _plain_ops, "multi": _multi_ops,
+                   "tx": _tx_ops}[template](i, rng)
+            nf = 2 if template == "multi" else 1
+        else:  # epoch
+            if r < 0.35:
+                template = "epoch"
+            elif r < 0.55:
+                template = "epoch2"
+            elif r < 0.80:
+                template = "tx"
+            elif not loop_used:
+                template, loop_count = "epoch", rng.randint(2, 3)
+                loop_used = True
+            else:
+                template = "epoch"
+            ops = {"epoch": _epoch_ops, "epoch2": _epoch2_ops,
+                   "tx": _tx_ops}[template](i, rng)
+            nf = 2 if template == "epoch2" else 1
+
+        units.append(UnitSpec(i, template, ops,
+                              helper_depth=_helper_depth(rng),
+                              loop_count=loop_count))
+        field_counts.append(nf)
+
+    if model == "strand":
+        # Strand persistency orders nothing between independent strands;
+        # one explicit trailing fence makes the payload durable before
+        # the commit unit. It lives in the last unit's op list so the
+        # mutator can drop it like any other fence.
+        last = units[-1]
+        units[-1] = UnitSpec(last.index, last.template,
+                             last.ops + (("fence",),),
+                             helper_depth=last.helper_depth,
+                             loop_count=last.loop_count)
+
+    return ProgramSpec(
+        name=f"fuzz_s{seed}_p{index}",
+        model=model,
+        field_counts=tuple(field_counts),
+        units=tuple(units),
+    )

@@ -1,0 +1,169 @@
+"""Semantic mutations over clean programs.
+
+Each mutation is one minimal, meaning-changing edit to a clean program's
+op stream, chosen so the expected verdict of every engine remains
+derivable (the expectation simulators are simply re-run on the mutated
+spec). The commit unit is never a target: dropping the program's final
+fence would be undetectable by construction (no engine defines behavior
+past the last persist op), which would poison the false-negative check.
+
+Mutation classes and the engine(s) expected to catch each:
+
+==================  =========================================================
+kind                expected detection
+==================  =========================================================
+missing-flush       static unflushed-write; crashsim failing image
+missing-fence       static missing-barrier / epoch.missing-barrier (strand
+                    model: statically silent); crashsim failing image
+reordered-fence     static strict.missing-barrier (store slides before its
+                    fence; crashsim stays clean — order still recoverable)
+redundant-flush     static perf.redundant-flush (crash-consistent, so both
+                    crashsim and dynamic stay clean)
+duplicate-txadd     static perf.multi-persist-tx
+empty-tx            static perf.empty-durable-tx
+cross-epoch-split   static epoch.semantic-mismatch (each half is fenced, so
+                    crashsim stays clean)
+strand-collide      dynamic strand.dependence always; static strand.dependence
+                    only when the colliding strands are adjacent
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from .spec import Op, ProgramSpec, UnitSpec
+
+#: every mutation kind, in a stable documentation/report order
+MUTATION_KINDS = (
+    "missing-flush", "missing-fence", "reordered-fence", "redundant-flush",
+    "duplicate-txadd", "empty-tx", "cross-epoch-split", "strand-collide",
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One applicable edit: ``kind`` at ``(unit, op)``."""
+
+    kind: str
+    unit: int
+    op: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "unit": self.unit, "op": self.op,
+                "detail": self.detail}
+
+
+def enumerate_mutations(spec: ProgramSpec) -> List[Mutation]:
+    """Every applicable mutation, in deterministic (unit, op) order."""
+    out: List[Mutation] = []
+    for u in spec.units:
+        for k, op in enumerate(u.ops):
+            kind = op[0]
+            if kind == "flush":
+                out.append(Mutation("missing-flush", u.index, k))
+                out.append(Mutation("redundant-flush", u.index, k))
+            elif kind == "tx_add":
+                out.append(Mutation("missing-flush", u.index, k,
+                                    detail="txadd"))
+                out.append(Mutation("duplicate-txadd", u.index, k))
+            elif kind == "fence":
+                out.append(Mutation("missing-fence", u.index, k))
+                if k + 1 < len(u.ops) and u.ops[k + 1][0] == "store":
+                    out.append(Mutation("reordered-fence", u.index, k))
+        out.append(Mutation("empty-tx", u.index))
+        if u.template == "epoch2":
+            out.append(Mutation("cross-epoch-split", u.index))
+    if spec.model == "strand":
+        strands = [u for u in spec.units if u.template == "strand"]
+        for i, a in enumerate(strands):
+            for b in strands[i + 1:]:
+                # generated strand programs carry exactly one fence, after
+                # the last strand's end — every ordered pair is fence-free
+                # up to the colliding store
+                out.append(Mutation("strand-collide", b.index,
+                                    detail=str(a.index)))
+    return out
+
+
+def _unit_by_index(spec: ProgramSpec, index: int) -> UnitSpec:
+    for u in spec.units:
+        if u.index == index:
+            return u
+    raise ValueError(f"no unit with index {index}")
+
+
+def _replace_unit(spec: ProgramSpec, unit: UnitSpec,
+                  ops: Tuple[Op, ...], label: str,
+                  mutation: Mutation) -> ProgramSpec:
+    units = tuple(
+        UnitSpec(u.index, u.template, ops, u.helper_depth, u.loop_count)
+        if u.index == unit.index else u
+        for u in spec.units
+    )
+    return spec.with_units(units, label=label, mutation=mutation.to_dict())
+
+
+def apply_mutation(spec: ProgramSpec, m: Mutation) -> ProgramSpec:
+    """The mutated program: ``spec`` with edit ``m`` applied."""
+    u = _unit_by_index(spec, m.unit)
+    ops = list(u.ops)
+    if m.kind == "missing-flush":
+        del ops[m.op]
+    elif m.kind == "missing-fence":
+        del ops[m.op]
+    elif m.kind == "reordered-fence":
+        ops[m.op], ops[m.op + 1] = ops[m.op + 1], ops[m.op]
+    elif m.kind == "redundant-flush":
+        ops.insert(m.op + 1, ops[m.op])
+    elif m.kind == "duplicate-txadd":
+        ops.insert(m.op + 1, ops[m.op])
+    elif m.kind == "empty-tx":
+        ops = [("tx_begin",), ("tx_end",)] + ops
+    elif m.kind == "cross-epoch-split":
+        ops = _split_epoch2(tuple(ops))
+    elif m.kind == "strand-collide":
+        src = _unit_by_index(spec, int(m.detail))
+        ops = _retarget_first_store(ops, src)
+    else:
+        raise ValueError(f"unknown mutation kind {m.kind!r}")
+    return _replace_unit(spec, u, tuple(ops), m.kind, m)
+
+
+def _split_epoch2(ops: Tuple[Op, ...]) -> List[Op]:
+    """epoch{s0 fl0 s1 fl1} fence  →  epoch{s0 fl0} fence epoch{s1 fl1} fence.
+
+    Both halves stay individually fenced — crash-consistent — but the
+    object's initialization now spans two persist groups: exactly the
+    Figure 1 semantic-mismatch pattern.
+    """
+    if (len(ops) != 7 or ops[0][0] != "epoch_begin"
+            or ops[5][0] != "epoch_end" or ops[6][0] != "fence"):
+        raise ValueError("cross-epoch-split needs an unmodified epoch2 unit")
+    first, second = ops[1:3], ops[3:5]
+    return ([("epoch_begin",)] + list(first) + [("epoch_end",), ("fence",)]
+            + [("epoch_begin",)] + list(second) + [("epoch_end",), ("fence",)])
+
+
+def _retarget_first_store(ops: List[Op], src: UnitSpec) -> List[Op]:
+    """Point this strand's first store/flush at ``src``'s first store
+    target, with a different value — a WAW dependence between strands."""
+    src_store = next(op for op in src.ops if op[0] == "store")
+    _, obj, fld, val = src_store
+    new_val = (val % 99) + 1
+    out: List[Op] = []
+    store_done = flush_done = False
+    for op in ops:
+        if op[0] == "store" and not store_done:
+            out.append(("store", obj, fld, new_val))
+            store_done = True
+        elif op[0] == "flush" and not flush_done:
+            out.append(("flush", obj, fld))
+            flush_done = True
+        else:
+            out.append(op)
+    if not (store_done and flush_done):
+        raise ValueError("strand-collide target has no store/flush")
+    return out

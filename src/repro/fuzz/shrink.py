@@ -1,0 +1,148 @@
+"""Greedy disagreement shrinking.
+
+Given a spec whose evaluation disagrees with the expectation simulators,
+produce the smallest sub-program that still exhibits the *same*
+disagreement — the same :func:`~repro.fuzz.oracle.diff_signature`, so
+shrinking never silently trades one bug for a different one.
+
+The candidate order is coarse-to-fine and runs to a fixed point:
+
+1. drop whole units, one at a time;
+2. simplify surviving units structurally — route a helper-lowered unit
+   inline (``helper_depth`` → 0), unroll a loop away (``loop_count`` →
+   0);
+3. drop individual ops inside units. Dropping a region ``*_begin`` also
+   drops its matching ``_end`` (and vice versa), found by depth scan, so
+   every candidate is still a well-formed, lowerable spec.
+
+Soundness rests on the spec being self-describing: expectations are
+recomputed from each candidate by the simulators, so arbitrary
+sub-programs keep derivable expected verdicts (see
+:mod:`repro.fuzz.spec`). Work is bounded by ``max_evals`` full engine
+evaluations; hitting the cap just yields a less-minimal repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from .oracle import DEFAULT_MAX_STATES, diff_signature, evaluate_program
+from .spec import ProgramSpec, UnitSpec
+
+#: engine-evaluation budget per shrink; generated programs minimize in
+#: far fewer, the cap only guards pathological (hand-built) inputs
+DEFAULT_MAX_EVALS = 200
+
+_BEGIN_TO_END = {
+    "epoch_begin": "epoch_end",
+    "strand_begin": "strand_end",
+    "tx_begin": "tx_end",
+}
+_END_TO_BEGIN = {v: k for k, v in _BEGIN_TO_END.items()}
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    spec: ProgramSpec
+    steps: int
+    evals: int
+    ops_before: int
+    ops_after: int
+
+    def to_dict(self):
+        return {
+            "steps": self.steps,
+            "evals": self.evals,
+            "ops_before": self.ops_before,
+            "ops_after": self.ops_after,
+        }
+
+
+def _op_count(spec: ProgramSpec) -> int:
+    return sum(len(u.ops) for u in spec.units)
+
+
+def _drop_op(unit: UnitSpec, pos: int) -> Optional[UnitSpec]:
+    """Unit with op ``pos`` removed; region delimiters go as a pair."""
+    ops = list(unit.ops)
+    kind = ops[pos][0]
+    if kind in _END_TO_BEGIN:
+        return None  # ends are dropped via their begin
+    if kind in _BEGIN_TO_END:
+        want, depth = _BEGIN_TO_END[kind], 0
+        for j in range(pos + 1, len(ops)):
+            if ops[j][0] == kind:
+                depth += 1
+            elif ops[j][0] == want:
+                if depth == 0:
+                    del ops[j]
+                    del ops[pos]
+                    return replace(unit, ops=tuple(ops))
+                depth -= 1
+        return None  # unbalanced (mid-shrink artifact): skip
+    del ops[pos]
+    return replace(unit, ops=tuple(ops))
+
+
+def _candidates(spec: ProgramSpec):
+    """Yield strictly-simpler candidate specs, coarse first."""
+    units = spec.units
+    for i in range(len(units)):
+        yield spec.with_units(units[:i] + units[i + 1:])
+    for i, unit in enumerate(units):
+        if unit.helper_depth:
+            yield spec.with_units(
+                units[:i] + (replace(unit, helper_depth=0),) + units[i + 1:])
+        if unit.loop_count:
+            yield spec.with_units(
+                units[:i] + (replace(unit, loop_count=0),) + units[i + 1:])
+    for i, unit in enumerate(units):
+        for pos in range(len(unit.ops)):
+            smaller = _drop_op(unit, pos)
+            if smaller is not None:
+                yield spec.with_units(units[:i] + (smaller,) + units[i + 1:])
+
+
+def shrink_program(spec: ProgramSpec, signature: Tuple,
+                   max_states: int = DEFAULT_MAX_STATES,
+                   max_evals: int = DEFAULT_MAX_EVALS) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``signature`` reproduces.
+
+    ``signature`` is the :func:`~repro.fuzz.oracle.diff_signature` of the
+    original disagreement. Returns the fixed point (or the best spec
+    found when the evaluation budget runs out).
+    """
+    current = spec
+    steps = evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            if evals >= max_evals:
+                break
+            evals += 1
+            try:
+                _exp, _obs, diffs = evaluate_program(
+                    candidate, max_states=max_states)
+            except Exception:
+                continue  # candidate broke an engine outright; keep looking
+            if diff_signature(diffs) == signature:
+                current = candidate
+                steps += 1
+                improved = True
+                break  # restart the coarse-to-fine scan from the top
+    return ShrinkResult(
+        spec=current, steps=steps, evals=evals,
+        ops_before=_op_count(spec), ops_after=_op_count(current),
+    )
+
+
+def shrink_diffs(spec: ProgramSpec, diffs: List[dict],
+                 max_states: int = DEFAULT_MAX_STATES,
+                 max_evals: int = DEFAULT_MAX_EVALS) -> ShrinkResult:
+    """Convenience wrapper: shrink against the signature of ``diffs``."""
+    return shrink_program(spec, diff_signature(diffs),
+                          max_states=max_states, max_evals=max_evals)

@@ -1,0 +1,298 @@
+"""Program specifications: the fuzzer's intermediate representation.
+
+A :class:`ProgramSpec` describes one generated NVM program as a sequence
+of *units* — small persist idioms (store/flush/fence, a durable tx, an
+epoch, a strand) over disjoint persistent objects — followed by a fixed
+*commit protocol*: a final store of ``1`` to a dedicated root object's
+``f0`` field, flushed and fenced. Every payload field lives on its own
+cacheline (64-byte padding), so crash-image enumeration treats fields
+independently and the commit-flag oracle is exact:
+
+    *if the root's commit flag reads 1 in a crash image, every payload
+    field must hold its final stored value.*
+
+The spec is the single source of truth for three independent views:
+
+* :meth:`to_module` lowers it to verified NVM IR (through
+  :class:`~repro.ir.builder.IRBuilder`, optionally through helper
+  functions and counted loops);
+* :meth:`flat_ops` yields the execution-order op stream (loops unrolled,
+  helpers inlined) that the expectation simulators in
+  :mod:`repro.fuzz.expect` consume;
+* :meth:`field_expectations` derives the commit-flag oracle's ground
+  truth (final value per payload field).
+
+Specs are immutable; the mutator and shrinker produce new specs. Because
+expectations are recomputed from the (possibly mutated, possibly shrunk)
+spec itself, any sub-program the shrinker reaches keeps a derivable
+expected verdict — the property that makes greedy shrinking sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ir import IRBuilder, Module, types as ty, verify_module
+from ..ir.instructions import REGION_EPOCH, REGION_STRAND, REGION_TX
+from ..nvm.cacheline import CACHELINE
+from .. import corpus as _corpus_pkg  # noqa: F401  (re-export site for util)
+from ..corpus.util import counted_loop, reset_label_ids
+
+#: sentinel object index for the commit root
+ROOT = -1
+
+#: op kinds, in the tuple encodings used throughout the fuzzer:
+#: ("store", obj, field, value) | ("flush", obj, field) | ("fence",)
+#: ("epoch_begin",) ("epoch_end",) ("strand_begin",) ("strand_end",)
+#: ("tx_begin",) ("tx_add", obj) ("tx_end",)
+OP_KINDS = (
+    "store", "flush", "fence",
+    "epoch_begin", "epoch_end",
+    "strand_begin", "strand_end",
+    "tx_begin", "tx_add", "tx_end",
+)
+
+Op = Tuple[Any, ...]
+
+#: region op kind -> IR region kind
+_REGION_OF = {
+    "epoch_begin": REGION_EPOCH, "epoch_end": REGION_EPOCH,
+    "strand_begin": REGION_STRAND, "strand_end": REGION_STRAND,
+    "tx_begin": REGION_TX, "tx_end": REGION_TX,
+}
+
+
+def field_range(f: int) -> Tuple[int, int]:
+    """Byte range ``[start, end)`` of payload field ``f`` (own cacheline)."""
+    return f * CACHELINE, f * CACHELINE + 8
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One persist idiom over (usually) one object.
+
+    ``index`` is the unit's birth position; it survives shrinking so
+    helper-function names and source lines stay stable while units are
+    deleted around it.
+    """
+
+    index: int
+    template: str
+    ops: Tuple[Op, ...]
+    #: 0 = inline in main, 1 = via a helper, 2 = helper calling a helper
+    helper_depth: int = 0
+    #: >= 2: ops wrapped in a counted loop executing this many times
+    loop_count: int = 0
+
+    def objects(self) -> Tuple[int, ...]:
+        """Payload object indices this unit references, sorted."""
+        refs = sorted({op[1] for op in self.ops
+                       if len(op) > 1 and isinstance(op[1], int)
+                       and op[1] != ROOT})
+        return tuple(refs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "template": self.template,
+            "ops": [list(op) for op in self.ops],
+            "helper_depth": self.helper_depth,
+            "loop_count": self.loop_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UnitSpec":
+        return cls(
+            index=data["index"],
+            template=data["template"],
+            ops=tuple(tuple(op) for op in data["ops"]),
+            helper_depth=data.get("helper_depth", 0),
+            loop_count=data.get("loop_count", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One generated program: units + commit protocol + ground truth."""
+
+    name: str
+    model: str
+    #: payload fields per object; object ``i`` has fields ``0..n_i-1``
+    field_counts: Tuple[int, ...]
+    units: Tuple[UnitSpec, ...]
+    #: ground-truth label: "clean" or a seeded bug class
+    label: str = "clean"
+    #: the mutation that produced this spec, if any (JSON-able)
+    mutation: Optional[Dict[str, Any]] = None
+
+    # -- derived views -------------------------------------------------------
+    def commit_ops(self) -> Tuple[Op, ...]:
+        """The fixed commit protocol (never a mutation target)."""
+        body: Tuple[Op, ...] = (
+            ("store", ROOT, 0, 1), ("flush", ROOT, 0),
+        )
+        if self.model == "epoch":
+            return (("epoch_begin",),) + body + (("epoch_end",), ("fence",))
+        return body + (("fence",),)
+
+    def flat_ops(self) -> List[Op]:
+        """Execution-order op stream: loops unrolled, helpers inlined,
+        commit appended. This is exactly the persist-relevant event order
+        the VM produces, which is what the expectation simulators need."""
+        out: List[Op] = []
+        for unit in self.units:
+            repeat = unit.loop_count if unit.loop_count >= 2 else 1
+            for _ in range(repeat):
+                out.extend(unit.ops)
+        out.extend(self.commit_ops())
+        return out
+
+    def field_expectations(self) -> Dict[Tuple[int, int], int]:
+        """Final expected value per written payload (obj, field)."""
+        expects: Dict[Tuple[int, int], int] = {}
+        for op in self.flat_ops():
+            if op[0] == "store" and op[1] != ROOT:
+                expects[(op[1], op[2])] = op[3]
+        return expects
+
+    def object_size(self, obj: int) -> int:
+        if obj == ROOT:
+            return CACHELINE
+        return self.field_counts[obj] * CACHELINE
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "field_counts": list(self.field_counts),
+            "units": [u.to_dict() for u in self.units],
+            "label": self.label,
+            "mutation": self.mutation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ProgramSpec":
+        return cls(
+            name=data["name"],
+            model=data["model"],
+            field_counts=tuple(data["field_counts"]),
+            units=tuple(UnitSpec.from_dict(u) for u in data["units"]),
+            label=data.get("label", "clean"),
+            mutation=data.get("mutation"),
+        )
+
+    def with_units(self, units: Tuple[UnitSpec, ...],
+                   **changes: Any) -> "ProgramSpec":
+        return replace(self, units=units, **changes)
+
+    # -- IR lowering ---------------------------------------------------------
+    def to_module(self) -> Module:
+        """Lower to a fresh, verified IR module.
+
+        Deterministic: building the same spec twice yields byte-identical
+        printed IR (label counters are reset, temp names follow build
+        order, source lines are functions of unit index and op position).
+        """
+        reset_label_ids()
+        mod = Module(self.name, persistency_model=self.model)
+        src = f"{self.name}.c"
+        root_st = mod.define_struct(
+            "fuzz_root", [("f0", ty.I64), ("pad0", ty.ArrayType(ty.I64, 7))])
+        structs: Dict[int, ty.StructType] = {}
+        for n in sorted(set(self.field_counts)):
+            fields: List[Tuple[str, ty.Type]] = []
+            for f in range(n):
+                fields.append((f"f{f}", ty.I64))
+                fields.append((f"pad{f}", ty.ArrayType(ty.I64, 7)))
+            structs[n] = mod.define_struct(f"cells{n}", fields)
+
+        main = mod.define_function("main", ty.VOID, [], source_file=src)
+        b = IRBuilder(main, source_file=src)
+        root = b.palloc(root_st, 1, name="root", line=2)
+        objs = [b.palloc(structs[n], 1, name=f"obj{i}", line=3 + i)
+                for i, n in enumerate(self.field_counts)]
+
+        def ptr_of(o: int):
+            return root if o == ROOT else objs[o]
+
+        for unit in self.units:
+            self._emit_unit(mod, b, unit, ptr_of, structs, src)
+        self._emit_ops(b, self.commit_ops(), {ROOT: root}, 9000)
+        b.ret()
+        verify_module(mod)
+        return mod
+
+    def _emit_unit(self, mod: Module, b: IRBuilder, unit: UnitSpec,
+                   ptr_of, structs: Dict[int, ty.StructType],
+                   src: str) -> None:
+        base = 100 * (unit.index + 1)
+        refs = unit.objects()
+        if unit.helper_depth > 0:
+            params = [(f"p{i}", ty.pointer_to(structs[self.field_counts[o]]))
+                      for i, o in enumerate(refs)]
+            depth = min(unit.helper_depth, 2)
+            inner_name = f"unit{unit.index}"
+            if depth == 2:
+                impl = mod.define_function(f"{inner_name}_impl", ty.VOID,
+                                           params, source_file=src)
+                ib = IRBuilder(impl, source_file=src)
+                ptrs = {o: impl.arg(f"p{i}") for i, o in enumerate(refs)}
+                self._emit_body(ib, unit, ptrs, base)
+                ib.ret(line=base)
+                outer = mod.define_function(inner_name, ty.VOID, params,
+                                            source_file=src)
+                ob = IRBuilder(outer, source_file=src)
+                ob.call(impl, [outer.arg(f"p{i}")
+                               for i in range(len(refs))], line=base)
+                ob.ret(line=base)
+                target = outer
+            else:
+                target = mod.define_function(inner_name, ty.VOID, params,
+                                             source_file=src)
+                hb = IRBuilder(target, source_file=src)
+                ptrs = {o: target.arg(f"p{i}") for i, o in enumerate(refs)}
+                self._emit_body(hb, unit, ptrs, base)
+                hb.ret(line=base)
+            b.call(target, [ptr_of(o) for o in refs], line=base)
+        else:
+            ptrs = {o: ptr_of(o) for o in refs}
+            self._emit_body(b, unit, ptrs, base)
+
+    def _emit_body(self, b: IRBuilder, unit: UnitSpec,
+                   ptrs: Dict[int, Any], base: int) -> None:
+        if unit.loop_count >= 2:
+            counted_loop(
+                b, unit.loop_count,
+                lambda lb, _iv: self._emit_ops(lb, unit.ops, ptrs, base),
+                line=base)
+        else:
+            self._emit_ops(b, unit.ops, ptrs, base)
+
+    def _emit_ops(self, b: IRBuilder, ops: Tuple[Op, ...],
+                  ptrs: Dict[int, Any], base: int) -> None:
+        for k, op in enumerate(ops):
+            line = base + 1 + k
+            kind = op[0]
+            if kind == "store":
+                _, o, f, v = op
+                fp = b.getfield(ptrs[o], f"f{f}", line=line)
+                b.store(v, fp, line=line)
+            elif kind == "flush":
+                _, o, f = op
+                fp = b.getfield(ptrs[o], f"f{f}", line=line)
+                b.flush(fp, 8, line=line)
+            elif kind == "fence":
+                b.fence(line=line)
+            elif kind == "tx_add":
+                _, o = op
+                b.txadd(ptrs[o], self.object_size(o), line=line)
+            elif kind in _REGION_OF:
+                region = _REGION_OF[kind]
+                if kind.endswith("_begin"):
+                    b.txbegin(region, line=line)
+                else:
+                    b.txend(region, line=line)
+            else:
+                raise ValueError(f"unknown fuzz op kind {kind!r}")

@@ -22,6 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Sequence, Union
 
 from ..errors import IRError
@@ -192,6 +193,20 @@ class IRBuilder:
 
     def txadd(self, ptr: Value, size: IntOrValue, line: Optional[int] = None):
         return self._emit(ins.TxAdd(ptr, self._value(size), self._loc(line)))
+
+    @contextmanager
+    def region(self, kind: str = ins.REGION_TX, label: str = "",
+               line: Optional[int] = None):
+        """Emit a balanced ``txbegin``/``txend`` pair around the with-body.
+
+        The end marker reuses the builder's *current* insertion point, so
+        bodies that move it (loops, branches) close the region wherever
+        they left off — keeping the verifier's balance check satisfied as
+        long as control flow reconverges.
+        """
+        self.txbegin(kind, label, line=line)
+        yield self
+        self.txend(kind, line=line)
 
     # -- calls / threads -------------------------------------------------------
     def call(self, callee: Union[str, Function], args: Sequence[Value] = (),

@@ -1,0 +1,75 @@
+"""CLI surface of `deepmc fuzz`: exit codes, determinism, sorted JSON.
+
+The JSON report is a machine interface like crashsim's: a golden file
+pins a small clean sweep byte-for-byte, and sorted-key emission makes
+the byte layout independent of dict construction order.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "fuzz_seeds01.json")
+
+ARGS = ["fuzz", "--seeds", "0..1", "--budget", "2"]
+
+
+class TestExitCodes:
+    def test_clean_sweep_exits_zero(self, capsys):
+        assert main(ARGS) == 0
+        out = capsys.readouterr().out
+        assert "no disagreements" in out
+
+    def test_bad_seed_spec_exits_two(self, capsys):
+        assert main(["fuzz", "--seeds", "9..0"]) == 2
+        assert "seed range" in capsys.readouterr().err
+
+    def test_empty_seed_spec_exits_two(self, capsys):
+        assert main(["fuzz", "--seeds", ","]) == 2
+        assert "no seeds" in capsys.readouterr().err
+
+
+class TestGoldenJson:
+    def test_json_output_matches_golden_file(self, capsys):
+        assert main(ARGS + ["--format", "json"]) == 0
+        out = capsys.readouterr().out
+        with open(GOLDEN) as fh:
+            assert out == fh.read()
+
+    def test_json_keys_sorted_at_every_level(self, capsys):
+        main(ARGS + ["--format", "json"])
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert out == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        assert doc["schema"] == "deepmc.fuzz.report/v1"
+
+
+class TestJobsDeterminism:
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_parallel_stdout_byte_identical(self, capsys, fmt):
+        argv = ARGS + ["--format", fmt]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestSortedJsonSiblings:
+    """chaos and crashsim share the sorted-key guarantee (same interface
+    contract; their goldens/tests pin content, this pins layout)."""
+
+    def test_crashsim_json_sorted(self, capsys):
+        main(["crashsim", "pmdk_hashmap", "--format", "json"])
+        out = capsys.readouterr().out
+        assert out == json.dumps(json.loads(out), indent=2,
+                                 sort_keys=True) + "\n"
+
+    def test_chaos_json_sorted(self, capsys):
+        main(["chaos", "--seeds", "0", "--jobs", "1", "--format", "json"])
+        out = capsys.readouterr().out
+        assert out == json.dumps(json.loads(out), indent=2,
+                                 sort_keys=True) + "\n"

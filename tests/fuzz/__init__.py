@@ -1,0 +1,1 @@
+"""Differential fuzzer test package (basename-collision shield)."""

@@ -1,0 +1,118 @@
+"""Campaign driver: determinism, jobs parity, artifacts, record schema."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import (
+    DISAGREEMENT_SCHEMA,
+    REPORT_SCHEMA,
+    build_program,
+    fuzz_program,
+    render_fuzz,
+    run_fuzz,
+)
+
+#: the exact key set of a deepmc.fuzz.disagreement/v1 record — pinned so
+#: schema changes are deliberate (consumers parse these artifacts)
+DISAGREEMENT_KEYS = {
+    "schema", "seed", "index", "name", "model", "label", "mutation",
+    "expected", "observed", "diffs", "shrink", "ir", "spec",
+}
+
+
+@pytest.fixture
+def blinded_static(monkeypatch):
+    monkeypatch.setattr("repro.fuzz.oracle.expected_static_rules",
+                        lambda spec: set())
+
+
+def _forced_disagreement(**kwargs):
+    """First campaign record that disagrees under a blinded simulator."""
+    for index in range(32):
+        record = fuzz_program(0, index, **kwargs)
+        if record["diffs"]:
+            return record
+    raise AssertionError("no disagreement found under blinded simulator")
+
+
+class TestDeterminism:
+    def test_build_program_is_deterministic(self):
+        assert build_program(3, 2) == build_program(3, 2)
+
+    def test_mutation_rate_produces_both_labels(self):
+        labels = {build_program(s, i).label
+                  for s in range(4) for i in range(8)}
+        assert "clean" in labels
+        assert len(labels) > 1
+
+    def test_report_is_reproducible(self):
+        a = run_fuzz([0, 1], budget=3)
+        b = run_fuzz([0, 1], budget=3)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_jobs_output_identical_to_serial(self):
+        serial = run_fuzz([0, 1, 2], budget=2, jobs=1)
+        pooled = run_fuzz([0, 1, 2], budget=2, jobs=3)
+        assert (json.dumps(serial, sort_keys=True)
+                == json.dumps(pooled, sort_keys=True))
+
+
+class TestReport:
+    def test_clean_sweep_report_shape(self):
+        report = run_fuzz([0], budget=3)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["programs"] == 3
+        assert report["disagreements"] == []
+        assert report["errors"] == []
+        assert sum(report["labels"].values()) == 3
+        assert "no disagreements" in render_fuzz(report)
+
+    def test_model_pinning_propagates(self):
+        report = run_fuzz([0], budget=3, model="strand")
+        assert report["model"] == "strand"
+
+
+class TestDisagreementRecords:
+    def test_record_schema_keys_pinned(self, blinded_static):
+        record = _forced_disagreement()
+        assert set(record) == DISAGREEMENT_KEYS
+        assert record["schema"] == DISAGREEMENT_SCHEMA
+        assert record["shrink"] is not None
+        assert record["ir"].lstrip().startswith("module")
+        for diff in record["diffs"]:
+            assert set(diff) == {"engine", "kind", "subject"}
+
+    def test_shrunk_record_is_minimized(self, blinded_static):
+        record = _forced_disagreement()
+        assert record["shrink"]["ops_after"] <= record["shrink"]["ops_before"]
+
+    def test_no_shrink_flag_skips_minimization(self, blinded_static):
+        record = _forced_disagreement(shrink=False)
+        assert record["shrink"] is None
+        assert set(record) == DISAGREEMENT_KEYS
+
+    def test_artifacts_written_sorted_and_loadable(self, blinded_static,
+                                                   tmp_path):
+        report = run_fuzz([0], budget=8, artifacts_dir=str(tmp_path))
+        assert report["disagreements"]
+        names = sorted(os.listdir(tmp_path))
+        stems = {n.rsplit(".", 1)[0] for n in names}
+        for stem in stems:
+            assert f"{stem}.nvmir" in names
+            assert f"{stem}.json" in names
+            raw = (tmp_path / f"{stem}.json").read_text()
+            doc = json.loads(raw)
+            # byte-for-byte sorted: the file is its own canonical form
+            assert raw == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            assert set(doc) == DISAGREEMENT_KEYS
+            from repro.ir import parse_module
+
+            parse_module((tmp_path / f"{stem}.nvmir").read_text())
+
+    def test_no_artifacts_on_clean_sweep(self, tmp_path):
+        target = tmp_path / "artifacts"
+        report = run_fuzz([0], budget=2, artifacts_dir=str(target))
+        assert report["disagreements"] == []
+        assert not target.exists()

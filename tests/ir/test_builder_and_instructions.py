@@ -176,3 +176,25 @@ class TestRegions:
         b.ret()
         with pytest.raises(VerifierError):
             verify_module(mod)
+
+    def test_region_context_manager_balances(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        with b.region(REGION_TX, line=5):
+            with b.region(REGION_EPOCH, line=6):
+                b.fence(line=7)
+        b.ret()
+        verify_module(mod)
+        ops = [i.opcode for i in fn.instructions()]
+        assert ops == ["txbegin", "txbegin", "fence",
+                       "txend", "txend", "ret"]
+        begins = [i for i in fn.instructions() if i.opcode == "txbegin"]
+        assert [i.kind for i in begins] == [REGION_TX, REGION_EPOCH]
+
+    def test_region_context_manager_yields_builder(self, mod):
+        fn = make_fn(mod)
+        b = IRBuilder(fn)
+        with b.region(REGION_EPOCH) as inner:
+            assert inner is b
+        b.ret()
+        verify_module(mod)

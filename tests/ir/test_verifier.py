@@ -110,3 +110,81 @@ class TestVerifier:
         mod = Module("v", persistency_model="strict")
         mod.define_function("ext", ty.I64, [("p", ty.PTR)])
         verify_module(mod)
+
+    def test_conditional_branch_to_unknown_block_rejected(self):
+        # both successor edges are checked, not just jmp targets
+        mod, fn = fresh()
+        block = fn.add_block("entry")
+        fn.add_block("ok").append(ins.Ret())
+        block.append(ins.Br(const_int(1), "ok", "nowhere"))
+        with pytest.raises(VerifierError, match="unknown block"):
+            verify_module(mod)
+
+    def test_foreign_argument_rejected(self):
+        # an Argument owned by another function is not a legal operand
+        mod, fn = fresh()
+        other = mod.define_function("h", ty.VOID, [("q", ty.PTR)],
+                                    source_file="v.c")
+        other.add_block("entry").append(ins.Ret())
+        b = IRBuilder(fn)
+        b.block.append(ins.Load(ty.I64, other.arg("q"), "v"))
+        b.ret()
+        with pytest.raises(VerifierError, match="foreign argument"):
+            verify_module(mod)
+
+    def test_unsupported_operand_rejected(self):
+        # a value-shaped object that is no Constant/Instruction/Argument
+        class Impostor:
+            name = "fake"
+
+            def ref(self):
+                return "%fake"
+
+        mod, fn = fresh()
+        b = IRBuilder(fn)
+        inst = ins.Load(ty.I64, b.const(0), "v")
+        inst.operands = (Impostor(),)
+        b.block.append(inst)
+        b.ret()
+        with pytest.raises(VerifierError, match="unsupported operand"):
+            verify_module(mod)
+
+    def test_unbalanced_tx_region_rejected(self):
+        mod, fn = fresh()
+        b = IRBuilder(fn)
+        b.txbegin(ins.REGION_TX)
+        b.ret()
+        with pytest.raises(VerifierError, match="unbalanced tx regions"):
+            verify_module(mod)
+
+    def test_unbalanced_epoch_end_rejected(self):
+        # a dangling end is just as unbalanced as a dangling begin
+        mod, fn = fresh()
+        b = IRBuilder(fn)
+        b.txend(ins.REGION_EPOCH)
+        b.ret()
+        with pytest.raises(VerifierError,
+                           match=r"unbalanced epoch regions \(delta -1\)"):
+            verify_module(mod)
+
+    def test_mismatched_region_kinds_rejected(self):
+        # begin one kind, end another: both kinds go unbalanced
+        mod, fn = fresh()
+        b = IRBuilder(fn)
+        b.txbegin(ins.REGION_STRAND)
+        b.txend(ins.REGION_EPOCH)
+        b.ret()
+        with pytest.raises(VerifierError, match="unbalanced"):
+            verify_module(mod)
+
+    def test_region_spanning_blocks_allowed(self):
+        # balance is per-function, not per-block: cross-block regions are
+        # the checker's concern, not the verifier's
+        mod, fn = fresh()
+        entry = fn.add_block("entry")
+        entry.append(ins.TxBegin(ins.REGION_TX))
+        entry.append(ins.Jmp("exit"))
+        exit_b = fn.add_block("exit")
+        exit_b.append(ins.TxEnd(ins.REGION_TX))
+        exit_b.append(ins.Ret())
+        verify_module(mod)

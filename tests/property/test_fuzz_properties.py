@@ -1,0 +1,84 @@
+"""Hypothesis properties over fuzzer-generated programs.
+
+Two bridges between the fuzzer and the rest of the toolchain:
+
+* **round-trip identity** — every generated (and mutated) program's
+  printed IR survives parse → print → parse byte-for-byte, so shrunk
+  ``.nvmir`` repro artifacts are loadable corpus inputs, not just logs;
+* **monotonicity** — dropping a flush or a fence never *removes* a
+  static correctness warning relative to the clean parent. Less
+  persistence can only look worse to the checker, never better. (Perf
+  rules are advisory and legitimately non-monotone: deleting a flush can
+  silence perf.redundant-flush, so they are excluded by construction.)
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import (
+    FUZZ_MODELS,
+    apply_mutation,
+    enumerate_mutations,
+    generate_program,
+)
+from repro.ir import parse_module, print_module
+
+_seeds = st.integers(0, 400)
+_indices = st.integers(0, 5)
+_models = st.sampled_from(FUZZ_MODELS)
+
+
+def _static_rules(spec):
+    from repro.checker.engine import StaticChecker
+
+    report = StaticChecker(spec.to_module(), model=spec.model).run()
+    return {w.rule_id for w in report.warnings()}
+
+
+def _spec_for(seed, index, model, mutate, pick):
+    spec = generate_program(seed, index, model=model)
+    if mutate:
+        mutations = enumerate_mutations(spec)
+        if mutations:
+            spec = apply_mutation(spec, mutations[pick % len(mutations)])
+    return spec
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=_seeds, index=_indices, model=_models,
+           mutate=st.booleans(), pick=st.integers(0, 1000))
+    def test_print_parse_print_fixed_point(self, seed, index, model,
+                                           mutate, pick):
+        spec = _spec_for(seed, index, model, mutate, pick)
+        text = print_module(spec.to_module())
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=_seeds, index=_indices, model=_models)
+    def test_lowering_is_deterministic(self, seed, index, model):
+        spec = generate_program(seed, index, model=model)
+        assert (print_module(spec.to_module())
+                == print_module(spec.to_module()))
+
+
+class TestMonotonicity:
+    """Drop-persistence mutations never shrink the correctness verdict."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_seeds, index=_indices, model=_models,
+           pick=st.integers(0, 1000))
+    def test_drop_mutations_preserve_warnings(self, seed, index, model,
+                                              pick):
+        clean = generate_program(seed, index, model=model)
+        drops = [m for m in enumerate_mutations(clean)
+                 if m.kind in ("missing-flush", "missing-fence")]
+        if not drops:
+            return
+        mutant = apply_mutation(clean, drops[pick % len(drops)])
+        # perf.* rules are advisory hints, legitimately non-monotone
+        clean_rules = {r for r in _static_rules(clean)
+                       if not r.startswith("perf.")}
+        mutant_rules = {r for r in _static_rules(mutant)
+                        if not r.startswith("perf.")}
+        assert clean_rules <= mutant_rules
