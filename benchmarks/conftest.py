@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import pytest
 
 from repro.bench import run_detection
+from repro.telemetry import environment_fingerprint, render_fingerprint
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -44,8 +46,21 @@ def results_dir():
 
 @pytest.fixture
 def save_result(results_dir):
+    """Write one rendered table plus a traceability footer.
+
+    The footer ties every number in ``results/`` to the machine,
+    interpreter, and moment that produced it — the same fingerprint the
+    ``BENCH_*.json`` trajectory files embed — so EXPERIMENTS.md figures
+    are never divorced from their provenance.
+    """
+    t0 = time.perf_counter()
+    fp = environment_fingerprint()
+
     def _save(name: str, text: str) -> None:
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        elapsed = time.perf_counter() - t0
+        footer = (f"# generated in {elapsed:.2f}s at {fp['timestamp']}\n"
+                  f"# env: {render_fingerprint(fp)}")
+        (results_dir / f"{name}.txt").write_text(f"{text}\n\n{footer}\n")
         print(f"\n=== {name} ===\n{text}")
 
     return _save

@@ -1,0 +1,156 @@
+"""The perf ratchet: diff two bench trajectories and fail on regression.
+
+``deepmc bench --compare BASELINE`` lands here. The comparison is
+per-scenario and per-stage: scenario wall-clock (trimmed mean) is the
+headline metric, stage rollups localize a slowdown, and counter drift is
+reported (never failed on — a count change means the *workload* changed,
+which is a correctness-review question, not a perf one).
+
+A metric regresses when ``current > baseline * (1 + tolerance)`` **and**
+the absolute delta clears a small floor (``min_delta_s``) — without the
+floor, a 2 ms phase jumping to 5 ms on a noisy runner would fail builds
+while changing nothing anyone can feel. The tolerance band is
+configurable precisely because the committed baseline and the CI runner
+are different machine classes; the fingerprint ids in both payloads are
+compared so a cross-machine diff is labelled as such in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: regress when current exceeds baseline by more than this fraction
+DEFAULT_TOLERANCE = 0.5
+#: ignore regressions whose absolute delta is under this many seconds
+DEFAULT_MIN_DELTA_S = 0.05
+
+#: Delta.status values that mean "the ratchet fails the build"
+FAILING_STATUS = "regression"
+
+
+@dataclass
+class Delta:
+    """One compared metric of one scenario."""
+
+    scenario: str
+    metric: str          # "wall" or "stage:<name>"
+    baseline: float
+    current: float
+    status: str          # ok | regression | improved | new | missing
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline <= 0:
+            return 0.0
+        return (self.current / self.baseline - 1.0) * 100.0
+
+
+@dataclass
+class Comparison:
+    """Full diff of two trajectories."""
+
+    tolerance: float
+    deltas: List[Delta] = field(default_factory=list)
+    #: counter names whose values differ, per scenario (informational)
+    counter_drift: Dict[str, List[str]] = field(default_factory=dict)
+    #: fingerprint ids differ → timings are cross-machine
+    cross_machine: bool = False
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status == FAILING_STATUS]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _classify(base: float, cur: float, tolerance: float,
+              min_delta_s: float) -> str:
+    if cur > base * (1.0 + tolerance) and cur - base > min_delta_s:
+        return "regression"
+    if base > cur * (1.0 + tolerance) and base - cur > min_delta_s:
+        return "improved"
+    return "ok"
+
+
+def compare_bench(baseline: Dict[str, Dict[str, Any]],
+                  current: Dict[str, Dict[str, Any]],
+                  tolerance: float = DEFAULT_TOLERANCE,
+                  min_delta_s: float = DEFAULT_MIN_DELTA_S) -> Comparison:
+    """Diff two ``{scenario: payload}`` trajectories."""
+    comp = Comparison(tolerance=tolerance)
+    for scenario in sorted(set(baseline) | set(current)):
+        if scenario not in current:
+            base_wall = baseline[scenario]["timing"]["trimmed_mean_s"]
+            comp.deltas.append(Delta(scenario, "wall", base_wall, 0.0,
+                                     "missing"))
+            continue
+        if scenario not in baseline:
+            cur_wall = current[scenario]["timing"]["trimmed_mean_s"]
+            comp.deltas.append(Delta(scenario, "wall", 0.0, cur_wall, "new"))
+            continue
+        b, c = baseline[scenario], current[scenario]
+        if b.get("env", {}).get("id") != c.get("env", {}).get("id"):
+            comp.cross_machine = True
+        base_wall = b["timing"]["trimmed_mean_s"]
+        cur_wall = c["timing"]["trimmed_mean_s"]
+        comp.deltas.append(Delta(
+            scenario, "wall", base_wall, cur_wall,
+            _classify(base_wall, cur_wall, tolerance, min_delta_s)))
+        b_stages = b.get("stages", {})
+        c_stages = c.get("stages", {})
+        for stage in sorted(set(b_stages) & set(c_stages)):
+            bs = b_stages[stage]["total_s"]
+            cs = c_stages[stage]["total_s"]
+            # only stages big enough to matter can fail the ratchet
+            if max(bs, cs) < min_delta_s:
+                continue
+            comp.deltas.append(Delta(
+                scenario, f"stage:{stage}", bs, cs,
+                _classify(bs, cs, tolerance, min_delta_s)))
+        drift = [
+            name for name in sorted(set(b.get("counters", {}))
+                                    | set(c.get("counters", {})))
+            if b.get("counters", {}).get(name)
+            != c.get("counters", {}).get(name)
+        ]
+        if drift:
+            comp.counter_drift[scenario] = drift
+    return comp
+
+
+def render_compare(comp: Comparison) -> str:
+    """The regression table the CI job prints into its summary."""
+    header = ["scenario", "metric", "baseline", "current", "delta", "status"]
+    rows = []
+    for d in comp.deltas:
+        rows.append([
+            d.scenario, d.metric,
+            f"{d.baseline * 1e3:.1f}ms", f"{d.current * 1e3:.1f}ms",
+            f"{d.delta_pct:+.1f}%" if d.status not in ("new", "missing")
+            else "-",
+            d.status.upper() if d.status == FAILING_STATUS else d.status,
+        ])
+    widths = [max(len(r[i]) for r in [header] + rows)
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    lines.append("")
+    if comp.cross_machine:
+        lines.append("note: baseline and current fingerprints differ — "
+                     "timings are cross-machine")
+    for scenario, names in sorted(comp.counter_drift.items()):
+        shown = ", ".join(names[:6]) + (" …" if len(names) > 6 else "")
+        lines.append(f"note: {scenario} counter drift "
+                     f"({len(names)}): {shown}")
+    n = len(comp.regressions)
+    tol_pct = comp.tolerance * 100.0
+    if n:
+        lines.append(f"FAIL: {n} metric(s) regressed beyond "
+                     f"+{tol_pct:.0f}% tolerance")
+    else:
+        lines.append(f"ok: no regressions beyond +{tol_pct:.0f}% tolerance")
+    return "\n".join(lines)

@@ -133,7 +133,10 @@ class Report:
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+        # sorted like every other machine-readable surface (fuzz, chaos,
+        # crashsim, bench), so the byte layout never depends on dict
+        # construction order
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Report":

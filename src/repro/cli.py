@@ -12,6 +12,8 @@ Subcommands::
     deepmc run FILE.nvmir [--entry main] [--arg N ...]
     deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
                   [--jobs N] [--cache | --cache-dir DIR]
+    deepmc bench [SCENARIO ...] [--repeat N] [--warmup N] [--out-dir DIR]
+                 [--compare BASELINE] [--current CURRENT] [--tolerance F]
     deepmc crashsim [PROGRAM ...] [--fixed] [--max-states N] [--jobs N]
                     [--format text|json]
     deepmc chaos [--seeds 0..9] [--jobs N] [--deadline S]
@@ -111,7 +113,9 @@ def cmd_check(args: argparse.Namespace) -> int:
             payload["cache"] = {"hit": checked.hit, "key": checked.key}
         if tel is not None:
             payload["metrics"] = tel.metrics.snapshot()
-        print(json.dumps(payload, indent=2))
+        # sort_keys: every machine-readable surface (fuzz/chaos/crashsim/
+        # bench) emits byte-stable JSON; check/profile are no exception
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render())
         if suppressed:
@@ -136,6 +140,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     program and print the nested phase tree with per-phase shares."""
     sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
     tel = Telemetry(sinks=sinks)
+    interp = None
     with tel.span("profile", file=args.file) as top:
         with tel.span("load"):
             module = _load_module(args.file)
@@ -145,18 +150,26 @@ def cmd_profile(args: argparse.Namespace) -> int:
             interp = Interpreter(module, telemetry=tel)
             interp.run(args.entry, [int(a) for a in args.arg])
         top.set("warnings", len(report))
+    profiler = interp.op_profiler if interp is not None else None
     if args.format == "json":
         payload = {
             "profile": top.to_dict(),
             "timings": checker.timings.as_dict(),
             "metrics": tel.metrics.snapshot(),
         }
-        print(json.dumps(payload, indent=2))
+        if profiler is not None:
+            payload["ops"] = profiler.as_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_profile_tree(tel.tracer.roots))
         print()
         print(f"warnings: {len(report)}  "
               f"traces checked: {checker.traces_checked}")
+        if profiler is not None and profiler.counts:
+            from .vm.profiler import render_op_profile
+
+            print()
+            print(render_op_profile(profiler))
     tel.close()
     return 0
 
@@ -174,6 +187,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     for key, value in result.stats.snapshot().items():
         print(f"  {key}: {value}")
     if tel is not None:
+        if args.profile:
+            # stderr, like check --profile: stdout stays the program's
+            print(tel.profile(), file=sys.stderr)
+            if interp.op_profiler is not None and interp.op_profiler.counts:
+                from .vm.profiler import render_op_profile
+
+                print(render_op_profile(interp.op_profiler),
+                      file=sys.stderr)
         tel.close()
     return 0
 
@@ -217,6 +238,62 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             print(f"  {b.bug_id}")
         status = 1
     return status
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned perf suite and/or ratchet against a baseline.
+
+    Exit codes: 0 ok, 1 regression beyond tolerance, 2 usage error.
+    """
+    from .bench import (
+        BenchConfig,
+        SCENARIOS,
+        compare_bench,
+        load_bench,
+        render_compare,
+        render_results,
+        run_suite,
+        write_bench,
+    )
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:24} {scenario.description}")
+        return 0
+    if args.current and not args.compare:
+        print("deepmc: error: --current requires --compare", file=sys.stderr)
+        return 2
+
+    if args.current:
+        # file-vs-file ratchet: no scenarios run (CI re-diffs, tests)
+        current = load_bench(args.current)
+        results = None
+    else:
+        config = BenchConfig(warmup=args.warmup, repeats=args.repeat,
+                             ops=args.ops)
+        results = run_suite(
+            args.scenarios or None, config,
+            progress=lambda name: print(f"deepmc: bench {name} ...",
+                                        file=sys.stderr))
+        current = {p["scenario"]: p for p in results}
+        if not args.no_write:
+            for payload in results:
+                path = write_bench(payload, args.out_dir)
+                print(f"deepmc: wrote {path}", file=sys.stderr)
+        if args.format == "json":
+            print(json.dumps(current, indent=2, sort_keys=True))
+        else:
+            print(render_results(results))
+
+    if args.compare:
+        baseline = load_bench(args.compare)
+        comp = compare_bench(baseline, current, tolerance=args.tolerance)
+        if results is not None:
+            print()
+        print(render_compare(comp))
+        if not comp.ok:
+            return 1
+    return 0
 
 
 def cmd_crashsim(args: argparse.Namespace) -> int:
@@ -375,7 +452,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "stats":
         stats = cache.stats()
         if args.format == "json":
-            print(json.dumps(stats.as_dict(), indent=2))
+            print(json.dumps(stats.as_dict(), indent=2, sort_keys=True))
         else:
             print(f"cache directory: {stats.root}")
             print(f"entries:         {stats.entries}")
@@ -522,6 +599,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(p)
     _add_observability_flags(p)
     p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned performance suite, emit BENCH_*.json "
+             "trajectory files, and optionally ratchet against a "
+             "committed baseline",
+    )
+    p.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                   help="scenario names (default: the whole suite; "
+                        "see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the pinned scenarios and exit")
+    p.add_argument("--repeat", type=int, default=3, metavar="N",
+                   help="timed repeats per scenario (default: 3; the "
+                        "trimmed mean drops the fastest and slowest)")
+    p.add_argument("--warmup", type=int, default=1, metavar="N",
+                   help="untimed warmup runs per scenario (default: 1)")
+    p.add_argument("--ops", type=int, default=400, metavar="N",
+                   help="per-iteration ops for the VM app scenarios "
+                        "(default: 400)")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="where BENCH_<scenario>.json files land "
+                        "(default: current directory — the repo root "
+                        "holds the committed baseline)")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure and report without touching any "
+                        "BENCH_*.json file")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="diff against a baseline BENCH_*.json file or a "
+                        "directory of them; exit 1 on regression beyond "
+                        "the tolerance band")
+    p.add_argument("--current", default=None, metavar="CURRENT",
+                   help="with --compare: diff these already-written "
+                        "trajectory files instead of running the suite")
+    p.add_argument("--tolerance", type=float, default=0.5, metavar="F",
+                   help="regression tolerance as a fraction (default: "
+                        "0.5 = fail beyond +50%%)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="suite report format (the trajectory files are "
+                        "always JSON)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "crashsim",

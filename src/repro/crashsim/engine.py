@@ -124,7 +124,8 @@ def simulate_program(
     with tel.span("crashsim.program", program=name, fixed=fixed) as sp:
         module = program.build(fixed=fixed)
         model = module.persistency_model or program.model
-        trace = record_trace(module, entry=program.entry or "main")
+        trace = record_trace(module, entry=program.entry or "main",
+                             telemetry=tel)
         enum = enumerate_crash_images(trace, model, max_states=max_states,
                                       max_lines=max_lines)
         outcomes = {o: 0 for o in OUTCOMES}

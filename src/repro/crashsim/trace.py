@@ -151,17 +151,29 @@ class PersistTrace:
 
 def record_trace(module: Module, entry: str = "main",
                  args: Sequence[Any] = (),
+                 telemetry: Optional[Telemetry] = None,
                  **interp_kwargs: Any) -> PersistTrace:
     """Execute ``entry`` once and return its persist-event trace.
 
     The run uses a private Telemetry whose only sink is the recorder, so
     recording composes with (and never pollutes) any caller telemetry.
+    When a caller ``telemetry`` is supplied, the private run's metrics
+    (``vm.*`` stats, ``vm.op.*`` profiler counters) are folded into it
+    after the run — the serial path mirrors what the parallel path gets
+    from merged worker dumps, so op counters stay identical across
+    ``--jobs`` values. The VM op profiler runs only when a caller cares
+    (enabled ``telemetry``), keeping unobserved recordings at full
+    speed.
     """
     recorder = TraceRecorder()
     tel = Telemetry(sinks=[recorder])
+    observed = telemetry is not None and telemetry.enabled
+    interp_kwargs.setdefault("op_profile", observed)
     interp = Interpreter(module, telemetry=tel, **interp_kwargs)
     recorder.attach(interp)
     result = interp.run(entry, args)
+    if observed:
+        telemetry.metrics.merge(tel.metrics.dump())
     return PersistTrace(events=recorder.events,
                         alloc_sizes=dict(recorder.alloc_sizes),
                         result=result)

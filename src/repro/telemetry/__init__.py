@@ -31,6 +31,11 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
+from .fingerprint import (
+    environment_fingerprint,
+    fingerprint_id,
+    render_fingerprint,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import flatten_spans, render_profile_tree
 from .sinks import JsonlSink, LogfmtSink, NullSink, Sink, logfmt
@@ -115,7 +120,10 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "environment_fingerprint",
+    "fingerprint_id",
     "flatten_spans",
     "logfmt",
+    "render_fingerprint",
     "render_profile_tree",
 ]

@@ -1,0 +1,57 @@
+"""Environment fingerprinting for benchmark traceability.
+
+Every artifact that carries a timing claim — a ``BENCH_*.json``
+trajectory file, a ``results/*.txt`` table — embeds a fingerprint of the
+machine and interpreter that produced it, so a number can always be
+traced back to "which runner class, which Python, when". The short
+``fingerprint_id`` hashes only the *stable* hardware/software identity
+(not the timestamp), so two runs on the same runner class share an id
+and a perf comparison across different ids can be flagged as
+cross-machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+import time
+from typing import Any, Dict
+
+#: keys that identify the machine class (hashed into ``fingerprint_id``);
+#: everything else in the fingerprint is per-run context
+IDENTITY_KEYS = ("implementation", "python", "platform", "machine",
+                 "cpu_count")
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Snapshot of the execution environment, JSON-ready."""
+    fp: Dict[str, Any] = {
+        "implementation": platform.python_implementation(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "hostname": socket.gethostname(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    fp["id"] = fingerprint_id(fp)
+    return fp
+
+
+def fingerprint_id(fp: Dict[str, Any]) -> str:
+    """Stable short hash of the machine-class identity fields."""
+    identity = {k: fp.get(k) for k in IDENTITY_KEYS}
+    canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def render_fingerprint(fp: Dict[str, Any]) -> str:
+    """One-line form for ``results/*.txt`` footers and CLI banners."""
+    return (f"{fp.get('implementation', '?').lower()}-{fp.get('python', '?')}"
+            f" {fp.get('machine', '?')}"
+            f" cpus={fp.get('cpu_count', '?')}"
+            f" host={fp.get('hostname', '?')}"
+            f" id={fp.get('id', fingerprint_id(fp))}")

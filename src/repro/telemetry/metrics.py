@@ -13,8 +13,9 @@ creation and snapshot, so hot-path increments stay cheap.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, Mapping, Union
+from typing import Dict, List, Mapping, Union
 
 Number = Union[int, float]
 
@@ -49,9 +50,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of a value distribution (count/total/min/max)."""
+    """Streaming summary of a value distribution.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Count/sum/min/max are exact; percentiles (p50/p95) come from a
+    bounded, evenly-spaced sample reservoir. When the reservoir fills it
+    is decimated (every other sample dropped) and the recording stride
+    doubles, so the kept samples stay evenly spaced over the observation
+    stream — the same observation sequence always yields the same
+    reservoir, which keeps merged worker histograms reproducible.
+    """
+
+    #: reservoir capacity; decimation halves it when reached
+    MAX_SAMPLES = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "_stride")
 
     def __init__(self, name: str):
         self.name = name
@@ -59,6 +72,8 @@ class Histogram:
         self.total: Number = 0
         self.min: Number = 0
         self.max: Number = 0
+        self.samples: List[Number] = []
+        self._stride = 1
 
     def observe(self, value: Number) -> None:
         if self.count == 0:
@@ -68,12 +83,37 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+        if self.count % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.MAX_SAMPLES:
+                self.samples = self.samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def sum(self) -> Number:
+        return self.total
+
+    def percentile(self, q: float) -> Number:
+        """Nearest-rank percentile estimate from the sample reservoir."""
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+    @property
+    def p50(self) -> Number:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> Number:
+        return self.percentile(95.0)
 
 
 class MetricsRegistry:
@@ -139,7 +179,8 @@ class MetricsRegistry:
                 "gauges": {n: g.value for n, g in self._gauges.items()},
                 "histograms": {
                     n: {"count": h.count, "total": h.total,
-                        "min": h.min, "max": h.max}
+                        "min": h.min, "max": h.max,
+                        "samples": list(h.samples)}
                     for n, h in self._histograms.items()
                 },
             }
@@ -168,10 +209,17 @@ class MetricsRegistry:
                 h.max = max(h.max, summary["max"])
             h.count += count
             h.total += summary.get("total", 0)
+            # fold the incoming reservoir in, re-decimating (self first,
+            # then incoming) so the merged reservoir stays bounded and
+            # merge order alone determines the result
+            h.samples.extend(summary.get("samples") or ())
+            while len(h.samples) >= Histogram.MAX_SAMPLES:
+                h.samples = h.samples[::2]
+                h._stride *= 2
 
     def snapshot(self) -> Dict[str, Number]:
         """Flat dict of every instrument; histograms expand to
-        ``name.count/.total/.min/.max/.mean``."""
+        ``name.count/.total/.min/.max/.mean/.p50/.p95``."""
         with self._lock:
             out: Dict[str, Number] = {}
             for name, c in self._counters.items():
@@ -184,4 +232,6 @@ class MetricsRegistry:
                 out[f"{name}.min"] = h.min
                 out[f"{name}.max"] = h.max
                 out[f"{name}.mean"] = h.mean
+                out[f"{name}.p50"] = h.p50
+                out[f"{name}.p95"] = h.p95
             return dict(sorted(out.items()))

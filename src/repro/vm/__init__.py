@@ -4,6 +4,7 @@ from .builtins import builtin, builtin_names, is_builtin
 from .crash import CrashRun, CrashState, PersistentObject, enumerate_crash_states, run_with_crash
 from .interpreter import CrashPoint, ExecResult, Interpreter
 from .memory import NULL, Allocation, Memory, Pointer
+from .profiler import OpProfiler, render_op_profile
 from .scheduler import RoundRobinScheduler, Scheduler, SeededScheduler
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "Interpreter",
     "Memory",
     "NULL",
+    "OpProfiler",
     "PersistentObject",
     "Pointer",
     "RoundRobinScheduler",
@@ -24,5 +26,6 @@ __all__ = [
     "builtin_names",
     "enumerate_crash_states",
     "is_builtin",
+    "render_op_profile",
     "run_with_crash",
 ]

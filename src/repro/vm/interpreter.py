@@ -39,6 +39,7 @@ from ..nvm.domain import PersistDomain
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from . import builtins as bi
 from .memory import NULL, Memory, Pointer
+from .profiler import OpProfiler, op_name, profiling_enabled_by_env
 from .scheduler import RoundRobinScheduler, Scheduler
 
 
@@ -175,6 +176,8 @@ class Interpreter:
         telemetry: Optional[Telemetry] = None,
         trace_instructions: bool = False,
         fault_injector: Optional[object] = None,
+        op_profile: Optional[bool] = None,
+        op_sample: Optional[int] = None,
     ):
         self.module = module
         self.memory = Memory()
@@ -184,6 +187,15 @@ class Interpreter:
         emit = (self.telemetry.event
                 if self.telemetry.events_enabled else None)
         self._trace_instructions = trace_instructions and emit is not None
+        # Op profiler: on by default whenever telemetry is (counting is a
+        # dict increment; timing is sampled), force-off via
+        # DEEPMC_OP_PROFILE=0 or op_profile=False. Disabled runs keep the
+        # bare dispatch loop — one attribute load and a branch.
+        if op_profile is None:
+            op_profile = self.telemetry.enabled and profiling_enabled_by_env()
+        self.op_profiler = OpProfiler(op_sample) if op_profile else None
+        if self.op_profiler is not None:
+            emit = self.op_profiler.wrap_emitter(emit)
         #: the resolved emitter is shared with the persist domain so the
         #: transaction events below interleave correctly with the
         #: store/flush/fence stream (crashsim replays that combined order).
@@ -227,6 +239,8 @@ class Interpreter:
                 self.crashed = True
             span.set("steps", self.steps)
             span.set("crashed", self.crashed)
+            if self.op_profiler is not None and self.op_profiler.counts:
+                span.set("top_ops", self.op_profiler.top_ops())
         if self.telemetry.enabled:
             self._publish_stats(entry)
         return ExecResult(
@@ -244,6 +258,8 @@ class Interpreter:
         tel.metrics.counter("vm.runs").inc()
         tel.metrics.publish("vm", stats)
         tel.metrics.histogram("vm.steps").observe(self.steps)
+        if self.op_profiler is not None:
+            self.op_profiler.publish(tel.metrics)
         tel.event("vm_run_end", module=self.module.name, entry=entry,
                   steps=self.steps, crashed=self.crashed, **stats)
 
@@ -311,7 +327,21 @@ class Interpreter:
                 loc=str(inst.loc),
             )
         self.domain.stats.cycles += self.cost.instruction
-        advance = self._execute(thread, frame, inst)
+        prof = self.op_profiler
+        if prof is not None:
+            op = op_name(inst.__class__)
+            seen = prof.counts.get(op, 0)
+            prof.counts[op] = seen + 1
+            if seen % prof.sample_every == 0:
+                t0 = prof.clock()
+                advance = self._execute(thread, frame, inst)
+                prof.time_s[op] = (prof.time_s.get(op, 0.0)
+                                   + prof.clock() - t0)
+                prof.timed[op] = prof.timed.get(op, 0) + 1
+            else:
+                advance = self._execute(thread, frame, inst)
+        else:
+            advance = self._execute(thread, frame, inst)
         if advance:
             frame.index += 1
 

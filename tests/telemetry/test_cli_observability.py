@@ -60,6 +60,13 @@ class TestCheckJson:
                      "--format", "json"]) == 0
         json.loads(capsys.readouterr().out)  # stdout stays pure JSON
 
+    def test_json_is_byte_sorted(self, buggy_file, capsys):
+        # check emits sort_keys=True like every other machine surface
+        main(["check", buggy_file, "--format", "json"])
+        out = capsys.readouterr().out
+        assert out == json.dumps(json.loads(out), indent=2,
+                                 sort_keys=True) + "\n"
+
 
 class TestTraceOut:
     def test_event_log_is_parseable_jsonl(self, buggy_file, tmp_path, capsys):
@@ -123,10 +130,31 @@ class TestProfileCommand:
         assert payload["metrics"]["checker.runs"] == 1
         assert payload["timings"]["total_s"] > 0
 
+    def test_json_is_byte_sorted(self, buggy_file, capsys):
+        main(["profile", buggy_file, "--format", "json"])
+        out = capsys.readouterr().out
+        assert out == json.dumps(json.loads(out), indent=2,
+                                 sort_keys=True) + "\n"
+
     def test_profile_with_vm_run(self, clean_file, capsys):
         assert main(["profile", clean_file, "--run"]) == 0
         out = capsys.readouterr().out
         assert "vm.run" in out
+        # the VM op profiler table rides along with --run
+        assert "ops executed:" in out
+        assert "sample stride:" in out
+
+    def test_profile_run_json_carries_op_counts(self, clean_file, tmp_path,
+                                                capsys):
+        out = tmp_path / "prof.jsonl"
+        assert main(["profile", clean_file, "--run", "--format", "json",
+                     "--trace-out", str(out)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ops = payload["ops"]
+        assert ops["counts"]  # per-opcode execution counters
+        assert sum(ops["counts"].values()) > 0
+        # event emission is counted when events flow to a sink
+        assert "persist.flush" in ops["events"]
 
     def test_profile_trace_out(self, buggy_file, tmp_path, capsys):
         out = tmp_path / "prof.jsonl"

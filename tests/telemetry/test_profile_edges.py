@@ -1,0 +1,192 @@
+"""Telemetry edge cases: profile-tree rendering, histogram merge
+semantics, and the environment fingerprint.
+
+These are the corners PR reviews keep asking about — empty forests,
+zero-duration spans, pathological nesting, reservoir decimation — pinned
+here so the rendering/merge code can't quietly regress on them.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    environment_fingerprint,
+    fingerprint_id,
+    flatten_spans,
+    render_fingerprint,
+    render_profile_tree,
+)
+
+
+def finished_span(name, duration_s, children=()):
+    span = Span.from_dict({"name": name, "duration_s": duration_s})
+    span.children.extend(children)
+    return span
+
+
+class TestProfileTreeEdges:
+    def test_empty_forest_renders_placeholder(self):
+        assert render_profile_tree([]) == "(no spans recorded)"
+        assert flatten_spans([]) == []
+
+    def test_zero_duration_root_does_not_divide_by_zero(self):
+        root = finished_span("instant", 0.0,
+                             [finished_span("child", 0.0)])
+        text = render_profile_tree([root])
+        assert "instant" in text and "child" in text
+        assert "  0.0%" in text  # pct falls back to zero, not NaN/crash
+
+    def test_deep_nesting_flattens_depth_first(self):
+        leaf = finished_span("leaf", 0.001)
+        chain = leaf
+        for depth in range(50):
+            chain = finished_span(f"level{depth}", 0.001, [chain])
+        flat = flatten_spans([chain])
+        assert len(flat) == 51
+        assert flat[0].name == "level49"
+        assert flat[-1].name == "leaf"
+        # rendering a 50-deep tree must not hit recursion limits or
+        # misplace the leaf
+        assert "leaf" in render_profile_tree([chain])
+
+    def test_multiple_roots_separated_by_blank_line(self):
+        text = render_profile_tree([finished_span("a", 0.01),
+                                    finished_span("b", 0.02)])
+        assert "\n\n" in text
+
+    def test_unfinished_span_has_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.span("open")
+        span.__enter__()
+        assert not span.finished
+        assert span.duration_s >= 0.0
+
+
+class TestHistogram:
+    def test_empty_histogram_percentiles_are_zero(self):
+        h = Histogram("x")
+        assert h.count == 0
+        assert h.p50 == 0 and h.p95 == 0
+        assert h.mean == 0.0
+
+    def test_exact_stats_and_percentiles_small_stream(self):
+        h = Histogram("x")
+        for v in [5, 1, 4, 2, 3]:
+            h.observe(v)
+        assert (h.count, h.sum, h.min, h.max) == (5, 15, 1, 5)
+        assert h.p50 == 3
+        assert h.p95 == 5
+
+    def test_reservoir_decimation_is_deterministic(self):
+        def fill():
+            h = Histogram("x")
+            for v in range(5000):
+                h.observe(v)
+            return h
+
+        a, b = fill(), fill()
+        assert a.count == 5000
+        assert len(a.samples) < Histogram.MAX_SAMPLES
+        assert a.samples == b.samples  # same stream -> same reservoir
+        # decimated reservoir still spans the stream, so percentiles
+        # stay close to the true values
+        assert a.p50 == pytest.approx(2500, rel=0.05)
+        assert a.p95 == pytest.approx(4750, rel=0.05)
+
+    def test_snapshot_expands_histogram_keys(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 2.0)
+        reg.observe("lat", 4.0)
+        snap = reg.snapshot()
+        assert snap["lat.count"] == 2
+        assert snap["lat.total"] == 6.0
+        assert snap["lat.mean"] == 3.0
+        assert snap["lat.p50"] == 2.0
+        assert snap["lat.p95"] == 4.0
+
+
+class TestRegistryMerge:
+    def test_merge_combines_histogram_summaries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0):
+            a.observe("lat", v)
+        for v in (10.0, 20.0):
+            b.observe("lat", v)
+        a.merge(b.dump())
+        h = a.histogram("lat")
+        assert (h.count, h.total, h.min, h.max) == (4, 33.0, 1.0, 20.0)
+        assert h.p95 == 20.0
+
+    def test_merge_into_empty_registry_adopts_min_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("lat", -5.0)
+        a.merge(b.dump())
+        h = a.histogram("lat")
+        assert h.min == -5.0 and h.max == -5.0 and h.count == 1
+
+    def test_merge_skips_empty_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("lat")  # created but never observed
+        a.merge(b.dump())
+        assert a.histogram("lat").count == 0
+
+    def test_merge_rebounds_oversized_reservoirs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in range(400):
+            a.observe("lat", float(v))
+        for v in range(400):
+            b.observe("lat", float(v + 1000))
+        a.merge(b.dump())
+        h = a.histogram("lat")
+        assert h.count == 800
+        assert len(h.samples) < Histogram.MAX_SAMPLES
+
+    def test_merge_order_independent_for_counters(self):
+        dumps = []
+        for base in (0, 100):
+            reg = MetricsRegistry()
+            reg.inc("n", base + 7)
+            dumps.append(reg.dump())
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(dumps[0]); ab.merge(dumps[1])
+        ba.merge(dumps[1]); ba.merge(dumps[0])
+        assert ab.dump()["counters"] == ba.dump()["counters"] == {"n": 114}
+
+    def test_dump_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set("g", 1.5)
+        reg.observe("h", 3.0)
+        json.dumps(reg.dump())  # must not raise
+
+
+class TestFingerprint:
+    def test_fingerprint_has_identity_and_context(self):
+        fp = environment_fingerprint()
+        assert {"implementation", "python", "platform", "machine",
+                "cpu_count", "hostname", "timestamp", "id"} <= set(fp)
+        assert len(fp["id"]) == 12
+
+    def test_id_is_stable_across_calls_and_ignores_timestamp(self):
+        a = environment_fingerprint()
+        b = environment_fingerprint()
+        assert a["id"] == b["id"]
+        mutated = dict(a, timestamp="1970-01-01T00:00:00Z",
+                       hostname="elsewhere")
+        assert fingerprint_id(mutated) == a["id"]
+
+    def test_id_changes_with_machine_identity(self):
+        fp = environment_fingerprint()
+        assert fingerprint_id(dict(fp, machine="riscv64")) != fp["id"]
+
+    def test_render_one_line(self):
+        fp = environment_fingerprint()
+        line = render_fingerprint(fp)
+        assert "\n" not in line
+        assert fp["id"] in line
+        assert str(fp["cpu_count"]) in line
