@@ -4,7 +4,11 @@
 per-scenario and per-stage: scenario wall-clock (trimmed mean) is the
 headline metric, stage rollups localize a slowdown, and counter drift is
 reported (never failed on — a count change means the *workload* changed,
-which is a correctness-review question, not a perf one).
+which is a correctness-review question, not a perf one). A baseline
+scenario that is *missing* from the current run fails the ratchet — it
+usually means the bench crashed partway, and ratcheting only the
+surviving scenarios would pass a broken run. Scenarios that are *new*
+(in current, not baseline) are informational.
 
 A metric regresses when ``current > baseline * (1 + tolerance)`` **and**
 the absolute delta clears a small floor (``min_delta_s``) — without the
@@ -25,8 +29,11 @@ DEFAULT_TOLERANCE = 0.5
 #: ignore regressions whose absolute delta is under this many seconds
 DEFAULT_MIN_DELTA_S = 0.05
 
-#: Delta.status values that mean "the ratchet fails the build"
-FAILING_STATUS = "regression"
+#: Delta.status values that mean "the ratchet fails the build".
+#: "missing" fails too: a baseline scenario absent from the current run
+#: usually means the bench crashed partway — ratcheting only the
+#: surviving scenarios would report ok on a broken run.
+FAILING_STATUSES = frozenset({"regression", "missing"})
 
 
 @dataclass
@@ -58,12 +65,16 @@ class Comparison:
     cross_machine: bool = False
 
     @property
+    def failures(self) -> List[Delta]:
+        return [d for d in self.deltas if d.status in FAILING_STATUSES]
+
+    @property
     def regressions(self) -> List[Delta]:
-        return [d for d in self.deltas if d.status == FAILING_STATUS]
+        return [d for d in self.deltas if d.status == "regression"]
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.failures
 
 
 def _classify(base: float, cur: float, tolerance: float,
@@ -131,7 +142,7 @@ def render_compare(comp: Comparison) -> str:
             f"{d.baseline * 1e3:.1f}ms", f"{d.current * 1e3:.1f}ms",
             f"{d.delta_pct:+.1f}%" if d.status not in ("new", "missing")
             else "-",
-            d.status.upper() if d.status == FAILING_STATUS else d.status,
+            d.status.upper() if d.status in FAILING_STATUSES else d.status,
         ])
     widths = [max(len(r[i]) for r in [header] + rows)
               for i in range(len(header))]
@@ -146,11 +157,18 @@ def render_compare(comp: Comparison) -> str:
         shown = ", ".join(names[:6]) + (" …" if len(names) > 6 else "")
         lines.append(f"note: {scenario} counter drift "
                      f"({len(names)}): {shown}")
-    n = len(comp.regressions)
     tol_pct = comp.tolerance * 100.0
-    if n:
-        lines.append(f"FAIL: {n} metric(s) regressed beyond "
-                     f"+{tol_pct:.0f}% tolerance")
+    n_regressed = len(comp.regressions)
+    n_missing = sum(1 for d in comp.failures if d.status == "missing")
+    if comp.failures:
+        parts = []
+        if n_regressed:
+            parts.append(f"{n_regressed} metric(s) regressed beyond "
+                         f"+{tol_pct:.0f}% tolerance")
+        if n_missing:
+            parts.append(f"{n_missing} baseline scenario(s) missing "
+                         f"from the current run")
+        lines.append("FAIL: " + "; ".join(parts))
     else:
         lines.append(f"ok: no regressions beyond +{tol_pct:.0f}% tolerance")
     return "\n".join(lines)

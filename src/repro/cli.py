@@ -243,7 +243,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the pinned perf suite and/or ratchet against a baseline.
 
-    Exit codes: 0 ok, 1 regression beyond tolerance, 2 usage error.
+    Exit codes: 0 ok, 1 regression beyond tolerance (or a baseline
+    scenario missing from the current run), 2 usage error.
     """
     from .bench import (
         BenchConfig,

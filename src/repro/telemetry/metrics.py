@@ -102,7 +102,10 @@ class Histogram:
     def percentile(self, q: float) -> Number:
         """Nearest-rank percentile estimate from the sample reservoir."""
         if not self.samples:
-            return 0
+            # a merged older-format payload can carry a count without
+            # samples; the mean is a truthful estimate there, 0 would
+            # read as a real measurement next to a nonzero mean
+            return self.mean if self.count else 0
         ordered = sorted(self.samples)
         rank = math.ceil(q / 100.0 * len(ordered))
         return ordered[min(max(rank, 1), len(ordered)) - 1]
@@ -209,13 +212,22 @@ class MetricsRegistry:
                 h.max = max(h.max, summary["max"])
             h.count += count
             h.total += summary.get("total", 0)
-            # fold the incoming reservoir in, re-decimating (self first,
-            # then incoming) so the merged reservoir stays bounded and
-            # merge order alone determines the result
-            h.samples.extend(summary.get("samples") or ())
-            while len(h.samples) >= Histogram.MAX_SAMPLES:
-                h.samples = h.samples[::2]
-                h._stride *= 2
+            # fold the incoming reservoir in. When the concatenation
+            # would overflow, decimate each reservoir *separately* to
+            # half capacity first — decimating the concatenation would
+            # interleave the two streams and destroy the even spacing
+            # each side has over its own observation stream. Doubling
+            # _stride only when self's side is decimated keeps future
+            # observe() calls consistent with self's new spacing.
+            incoming = list(summary.get("samples") or ())
+            if len(h.samples) + len(incoming) > Histogram.MAX_SAMPLES:
+                half = Histogram.MAX_SAMPLES // 2
+                while len(h.samples) > half:
+                    h.samples = h.samples[::2]
+                    h._stride *= 2
+                while len(incoming) > half:
+                    incoming = incoming[::2]
+            h.samples.extend(incoming)
 
     def snapshot(self) -> Dict[str, Number]:
         """Flat dict of every instrument; histograms expand to

@@ -173,12 +173,25 @@ class TestRatchet:
         (wall,) = comp.deltas
         assert wall.status == "improved"
 
-    def test_new_and_missing_scenarios_are_informational(self):
-        base = {"gone": synthetic_payload("gone", 1.0)}
-        cur = {"fresh": synthetic_payload("fresh", 1.0)}
+    def test_new_scenarios_are_informational(self):
+        base = {"s": synthetic_payload("s", 1.0)}
+        cur = {"s": synthetic_payload("s", 1.0),
+               "fresh": synthetic_payload("fresh", 1.0)}
         comp = compare_bench(base, cur)
         assert comp.ok
-        assert {d.status for d in comp.deltas} == {"new", "missing"}
+        assert {d.status for d in comp.deltas} == {"ok", "new"}
+
+    def test_missing_scenario_fails_the_ratchet(self):
+        # a bench run that crashed partway writes only some BENCH_*.json
+        # files; the survivors must not ratchet to a green build
+        base = {"s": synthetic_payload("s", 1.0),
+                "gone": synthetic_payload("gone", 1.0)}
+        cur = {"s": synthetic_payload("s", 1.0)}
+        comp = compare_bench(base, cur)
+        assert not comp.ok
+        assert [d.status for d in comp.failures] == ["missing"]
+        text = render_compare(comp)
+        assert "FAIL" in text and "missing" in text
 
     def test_counter_drift_reported_not_failed(self):
         base = {"s": synthetic_payload("s", 1.0,

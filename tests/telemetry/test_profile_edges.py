@@ -144,7 +144,33 @@ class TestRegistryMerge:
         a.merge(b.dump())
         h = a.histogram("lat")
         assert h.count == 800
-        assert len(h.samples) < Histogram.MAX_SAMPLES
+        assert len(h.samples) <= Histogram.MAX_SAMPLES
+        # each stream was decimated on its own before concatenation, so
+        # the kept samples stay evenly spaced over their own stream
+        # instead of interleaving the two
+        assert h.samples == ([float(v) for v in range(0, 400, 2)]
+                             + [float(v + 1000) for v in range(0, 400, 2)])
+
+    def test_merge_does_not_decimate_when_combined_fits(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in range(100):
+            a.observe("lat", float(v))
+        for v in range(100):
+            b.observe("lat", float(v + 1000))
+        a.merge(b.dump())
+        h = a.histogram("lat")
+        assert len(h.samples) == 200  # nothing dropped needlessly
+        assert h._stride == 1
+
+    def test_merge_without_samples_falls_back_to_mean_percentiles(self):
+        # an older-format dump carries count/total but no reservoir;
+        # p50/p95 must not read as a real 0 next to a nonzero mean
+        reg = MetricsRegistry()
+        reg.merge({"histograms": {"lat": {"count": 4, "total": 12.0,
+                                          "min": 1.0, "max": 5.0}}})
+        h = reg.histogram("lat")
+        assert h.count == 4 and not h.samples
+        assert h.p50 == h.p95 == h.mean == 3.0
 
     def test_merge_order_independent_for_counters(self):
         dumps = []
