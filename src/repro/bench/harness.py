@@ -185,6 +185,18 @@ def _scenario_profiler_overhead(tel: Telemetry,
     }
 
 
+def _scenario_litmus(tel: Telemetry, config: BenchConfig) -> Dict[str, Any]:
+    """Full litmus catalog, serial: three engines per (test, model) case."""
+    from ..litmus import run_litmus
+
+    payload = run_litmus(telemetry=tel)
+    if payload["summary"]["errors"]:
+        raise ReproError(
+            f"litmus scenario failed: {payload['errors'][0]['error']}")
+    return {"cases": payload["summary"]["cases"],
+            "disagreeing": payload["summary"]["disagreeing"]}
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -204,6 +216,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("op_profiler_overhead",
                  "VM op profiler self-overhead, profiler off vs on",
                  _scenario_profiler_overhead),
+        Scenario("litmus",
+                 "litmus catalog three-way cross-validation (all models)",
+                 _scenario_litmus),
     )
 }
 

@@ -339,6 +339,60 @@ def cmd_crashsim(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def cmd_litmus(args: argparse.Namespace) -> int:
+    from .litmus import (
+        CATALOG,
+        get_test,
+        render_litmus,
+        run_litmus,
+        validate_catalog,
+    )
+
+    if args.list:
+        for test in CATALOG:
+            print(f"{test.name:<30} {test.group:<9} "
+                  + ",".join(test.models))
+        return 0
+    if args.emit_docs is not None:
+        from .litmus.docgen import render_models_md
+
+        path = args.emit_docs or "docs/MODELS.md"
+        text = render_models_md()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"deepmc: wrote {path} ({len(text)} bytes)", file=sys.stderr)
+        return 0
+    problems = validate_catalog()
+    if problems:
+        for problem in problems:
+            print(f"deepmc: litmus catalog: {problem}", file=sys.stderr)
+        return 2
+    tests = None
+    if args.tests:
+        try:
+            tests = [get_test(name) for name in args.tests]
+        except KeyError as exc:
+            print(f"deepmc: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    models = [args.model] if args.model else None
+    tel = _telemetry_for(args)
+    payload = run_litmus(tests=tests, models=models, jobs=args.jobs,
+                         max_states=args.max_states, telemetry=tel)
+    # stdout carries only deterministic content (declared expectations,
+    # image counts, disagreement diffs) so --jobs N is byte-identical
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_litmus(payload))
+    if getattr(args, "profile", False) and tel is not None:
+        print(tel.profile(), file=sys.stderr)
+    if tel is not None:
+        tel.close()
+    if payload["summary"]["errors"]:
+        return 2
+    return 1 if payload["summary"]["disagreeing"] else 0
+
+
 def parse_seed_spec(spec: str) -> List[int]:
     """Parse a seed sweep spec: ``0..9`` (inclusive range), ``0,3,7``
     (list), ``5`` (single), or any comma-mix of the three."""
@@ -668,6 +722,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report format (json is machine-readable and "
                         "schema-stable)")
     p.set_defaults(func=cmd_crashsim)
+
+    p = sub.add_parser(
+        "litmus",
+        help="cross-validate the persistency-model litmus catalog: "
+             "declared outcome sets and verdicts vs crashsim enumeration, "
+             "spec simulation, and the real checkers",
+    )
+    p.add_argument("tests", nargs="*", metavar="TEST",
+                   help="litmus test names (default: the whole catalog)")
+    p.add_argument("--model", choices=["strict", "epoch", "strand"],
+                   default=None,
+                   help="restrict to one persistency model (default: "
+                        "every model each test declares)")
+    p.add_argument("--list", action="store_true",
+                   help="list catalog tests and exit")
+    p.add_argument("--emit-docs", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="regenerate the model reference into PATH "
+                        "(default: docs/MODELS.md) and exit")
+    p.add_argument("--max-states", type=int, default=4096, metavar="N",
+                   help="crash-image budget per case (default: 4096)")
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="run cases on N worker processes (default: 1, "
+                        "serial; output is byte-identical either way)")
+    _add_observability_flags(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (json is machine-readable and "
+                        "schema-stable)")
+    p.set_defaults(func=cmd_litmus)
 
     p = sub.add_parser(
         "chaos",

@@ -250,6 +250,7 @@ def enumerate_crash_images(
     model: str,
     max_states: int = 4096,
     max_lines: int = 14,
+    prune: bool = True,
 ) -> Enumeration:
     """Enumerate every distinct crash image legal under ``model``.
 
@@ -257,6 +258,12 @@ def enumerate_crash_images(
     each of the N events. ``pruned`` counts legal states *not* emitted for
     equivalence reasons (no-op lines, duplicate images, per-point caps);
     hitting the global ``max_states`` budget sets ``truncated`` instead.
+
+    ``prune=False`` disables both equivalence reductions — no-op candidate
+    filtering and cross-point image dedup — and emits one image per legal
+    (crash point, candidate subset) pair. The distinct-image set must be
+    identical either way (persist-equivalence pruning only drops
+    duplicates); the litmus suite asserts exactly that.
     """
     replay = ReplayState(trace.alloc_sizes)
     images: List[CrashImage] = []
@@ -268,7 +275,8 @@ def enumerate_crash_images(
         if k > 0:
             replay.apply(trace.events[k - 1])
         candidates = replay.candidates(model)
-        effective = [l for l in candidates if not replay.is_noop(l)]
+        effective = ([l for l in candidates if not replay.is_noop(l)]
+                     if prune else list(candidates))
         legal = 2 ** len(candidates)
         if len(effective) > max_lines:
             # combinatorial cliff: keep the two extreme images only
@@ -287,9 +295,11 @@ def enumerate_crash_images(
             image = replay.image_for(subset)
             key = _digest(image, open_tx)
             if key in seen:
-                pruned += 1
-                continue
-            seen.add(key)
+                if prune:
+                    pruned += 1
+                    continue
+            else:
+                seen.add(key)
             images.append(CrashImage(index=len(images) + 1, event_index=k,
                                      persisted=subset, image=image,
                                      open_tx=open_tx))

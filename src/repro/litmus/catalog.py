@@ -1,0 +1,681 @@
+"""The litmus catalog: canonical persist-ordering patterns + expectations.
+
+Each :class:`LitmusTest` is a tiny straight-line persist pattern (a few
+stores/flushes/fences, possibly epoch/strand regions or a durable tx)
+plus, for every persistency model it runs under, a hand-reasoned
+:class:`Expected`:
+
+* ``outcomes`` — the *expected outcome set*: every admissible valuation
+  of the pattern's stored fields that a crash at any point could leave
+  in NVM under that model. This is the litmus literature's "allowed
+  final states", adapted to whole-execution crash enumeration.
+* ``static_rules`` / ``dynamic_rules`` — the Table 4/5 rule ids the
+  static checker and the happens-before runtime should report.
+
+The declarations here are ground truth written from the model
+definitions (docs/MODELS.md renders the reasoning); the runner then
+checks them against two executable semantics — crashsim replay of the
+recorded persist trace and the spec-level simulators — so a typo here,
+or a semantics bug in either engine, surfaces as a pairwise
+disagreement rather than silently shifting what the models "mean".
+
+Values are chosen so every distinct durable state is distinguishable:
+zero-initialised NVM means 0 always denotes "never persisted", and the
+torn-write test stores ``2**32 + 1`` so a 4-byte torn line yields the
+visibly-partial value 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..fuzz.spec import OP_KINDS, Op
+
+MODELS: Tuple[str, ...] = ("strict", "epoch", "strand")
+
+#: value stored by the torn-write litmus: low 4 bytes are 1, high are 1,
+#: so persisting only the first 4 line bytes leaves the field reading 1
+TORN_VALUE = 2 ** 32 + 1
+
+
+@dataclass(frozen=True)
+class Expected:
+    """Per-model ground truth for one litmus test."""
+
+    #: admissible persistent valuations of the observed fields (sorted
+    #: (obj, field) order), unioned over every crash point
+    outcomes: FrozenSet[Tuple[int, ...]]
+    #: rule ids the static checker should report
+    static_rules: FrozenSet[str] = frozenset()
+    #: rule ids the dynamic happens-before checker should report
+    dynamic_rules: FrozenSet[str] = frozenset()
+
+
+def _ex(outcomes: Iterable[Tuple[int, ...]],
+        static: Iterable[str] = (),
+        dynamic: Iterable[str] = ()) -> Expected:
+    return Expected(outcomes=frozenset(tuple(o) for o in outcomes),
+                    static_rules=frozenset(static),
+                    dynamic_rules=frozenset(dynamic))
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One catalog entry. ``expected`` has exactly the keys ``models``."""
+
+    name: str
+    group: str
+    title: str
+    #: plain-prose rationale rendered into docs/MODELS.md
+    prose: str
+    ops: Tuple[Op, ...]
+    models: Tuple[str, ...]
+    expected: Dict[str, Expected]
+    #: optional one-shot NVM fault directive (FaultInjector.nvm_directive)
+    fault: Optional[Dict] = None
+    loop_count: int = 0
+    helper_depth: int = 0
+
+    @property
+    def field_counts(self) -> Tuple[int, ...]:
+        """Payload fields per object, derived from the op stream."""
+        needed: Dict[int, int] = {}
+        for op in self.ops:
+            if op[0] in ("store", "flush"):
+                obj, fld = op[1], op[2]
+                needed[obj] = max(needed.get(obj, 1), fld + 1)
+            elif op[0] == "tx_add":
+                needed.setdefault(op[1], 1)
+        if not needed:
+            return ()
+        return tuple(needed.get(i, 1) for i in range(max(needed) + 1))
+
+    def observed_fields(self) -> List[Tuple[int, int]]:
+        """The stored (obj, field) keys, sorted — outcome tuple order."""
+        return sorted({(op[1], op[2]) for op in self.ops
+                       if op[0] == "store"})
+
+
+def _t(name: str, group: str, title: str, prose: str,
+       ops: Iterable[Op], models: Iterable[str],
+       expected: Dict[str, Expected], **kw) -> LitmusTest:
+    return LitmusTest(name=name, group=group, title=title,
+                      prose=" ".join(prose.split()),
+                      ops=tuple(tuple(op) for op in ops),
+                      models=tuple(models), expected=expected, **kw)
+
+
+# -- op shorthands ----------------------------------------------------------
+
+def _st(obj: int, fld: int, val: int) -> Op:
+    return ("store", obj, fld, val)
+
+
+def _fl(obj: int, fld: int) -> Op:
+    return ("flush", obj, fld)
+
+
+_FE: Op = ("fence",)
+_EB: Op = ("epoch_begin",)
+_EE: Op = ("epoch_end",)
+_SB: Op = ("strand_begin",)
+_SE: Op = ("strand_end",)
+_TB: Op = ("tx_begin",)
+_TE: Op = ("tx_end",)
+
+
+def _ta(obj: int) -> Op:
+    return ("tx_add", obj)
+
+
+# ---------------------------------------------------------------------------
+# ordering: bare store/flush/fence patterns, contrasted across all models
+# ---------------------------------------------------------------------------
+
+_ORDERING = (
+    _t("store-only", "ordering", "A bare store never fences",
+       """The minimal pattern: one store, no flush, no fence. Under strict
+       persistency an unflushed store can never reach NVM through the
+       modelled pipeline, so the only admissible image is the initial
+       zero. Under epoch and strand persistency the cache may write the
+       dirty line back spontaneously at any point before the next fence,
+       so both 0 and 5 are admissible. Every model's checker flags the
+       write as unflushable at exit.""",
+       [_st(0, 0, 5)],
+       MODELS,
+       {"strict": _ex({(0,)}, static=["strict.unflushed-write"]),
+        "epoch": _ex({(0,), (5,)}, static=["epoch.unflushed-write"]),
+        "strand": _ex({(0,), (5,)}, static=["epoch.unflushed-write"])}),
+
+    _t("store-flush", "ordering", "Flush without fence is a request",
+       """A flush only queues the write-back; until a fence drains the
+       queue the crash may land on either side, so 0 and 5 are both
+       admissible under every model. Strict mode additionally reports
+       the unbarriered trailing flush — the program ended without the
+       fence that would make the flush meaningful.""",
+       [_st(0, 0, 5), _fl(0, 0)],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}, static=["strict.missing-barrier"]),
+        "epoch": _ex({(0,), (5,)}),
+        "strand": _ex({(0,), (5,)})}),
+
+    _t("store-flush-fence", "ordering", "The complete persist",
+       """Store, flush, fence: the canonical durable write. The crash can
+       still land before the fence (value 0) or after it (value 5), but
+       after the fence returns, 5 is guaranteed. Clean under every
+       model.""",
+       [_st(0, 0, 5), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}),
+        "epoch": _ex({(0,), (5,)}),
+        "strand": _ex({(0,), (5,)})}),
+
+    _t("store-fence", "ordering", "A fence without a flush drains nothing",
+       """The fence drains the *flush queue*, and nothing was flushed.
+       Under strict persistency the store therefore never persists.
+       Under epoch/strand persistency the line is write-back candidate
+       while dirty in the current epoch — so 5 can persist *before* the
+       fence — but the fence closes the epoch without draining it, after
+       which the stale line can no longer be exposed by this trace.""",
+       [_st(0, 0, 5), _FE],
+       MODELS,
+       {"strict": _ex({(0,)}, static=["strict.unflushed-write"]),
+        "epoch": _ex({(0,), (5,)}, static=["epoch.unflushed-write"]),
+        "strand": _ex({(0,), (5,)}, static=["epoch.unflushed-write"])}),
+
+    _t("message-passing", "ordering", "Fenced message passing",
+       """The MP litmus: persist x, fence, persist y. The fence orders
+       the two persists, so the recovery-breaking image (y set while x
+       is not) is inadmissible under every model — the outcome (0, 2)
+       never appears. This is the pattern every ordered-update protocol
+       reduces to.""",
+       [_st(0, 0, 1), _fl(0, 0), _FE, _st(1, 0, 2), _fl(1, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0, 0), (1, 0), (1, 2)}),
+        "epoch": _ex({(0, 0), (1, 0), (1, 2)}),
+        "strand": _ex({(0, 0), (1, 0), (1, 2)})}),
+
+    _t("message-passing-unfenced", "ordering",
+       "Without the fence, persists reorder",
+       """Drop MP's intermediate fence and both lines sit in the flush
+       queue together: the device may write them back in either order,
+       so all four images — including the broken (0, 2) — are
+       admissible under every model. Strict mode reports both the
+       flush-then-store without a barrier and the two writes racing to
+       one barrier; epoch mode reports the latter; strand mode, which
+       only orders within a strand, is silent.""",
+       [_st(0, 0, 1), _fl(0, 0), _st(1, 0, 2), _fl(1, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0, 0), (0, 2), (1, 0), (1, 2)},
+                      static=["strict.missing-barrier",
+                              "strict.multi-write-barrier"]),
+        "epoch": _ex({(0, 0), (0, 2), (1, 0), (1, 2)},
+                     static=["strict.multi-write-barrier"]),
+        "strand": _ex({(0, 0), (0, 2), (1, 0), (1, 2)})}),
+
+    _t("overwrite-fenced", "ordering", "Fenced overwrite is monotone",
+       """Persist 1, fence, persist 2 to the same field. The field moves
+       through 0 → 1 → 2 and a crash can expose any of the three — but
+       never a mix, and never 2-then-1. Clean under every model.""",
+       [_st(0, 0, 1), _fl(0, 0), _FE, _st(0, 0, 2), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (1,), (2,)}),
+        "epoch": _ex({(0,), (1,), (2,)}),
+        "strand": _ex({(0,), (1,), (2,)})}),
+
+    _t("overwrite-unfenced", "ordering",
+       "Unfenced overwrite can still expose the old value",
+       """Store 1, flush, store 2, flush, fence. The queued write-back
+       carries whatever the line holds when it drains, so the crash can
+       expose 0, the transient 1, or the final 2. The same three
+       outcomes as the fenced variant — on one field, reordering has
+       nothing distinct to expose — but strict mode flags the
+       store-after-unbarriered-flush idiom anyway, because on *shared*
+       state that idiom is exactly how stale values escape.""",
+       [_st(0, 0, 1), _fl(0, 0), _st(0, 0, 2), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (1,), (2,)},
+                      static=["strict.missing-barrier"]),
+        "epoch": _ex({(0,), (1,), (2,)}),
+        "strand": _ex({(0,), (1,), (2,)})}),
+
+    _t("two-fields-one-fence", "ordering",
+       "Two fields under one fence tear",
+       """Initialise two fields of one object and fence once. Until the
+       fence both lines are in flight independently, so the crash can
+       expose any subset — the classic torn struct. Strict and epoch
+       mode report two writes sharing one barrier (epoch mode, because
+       these writes are not inside any epoch); under strand persistency
+       unordered co-location is the default and nothing fires.""",
+       [_st(0, 0, 7), _st(0, 1, 8), _fl(0, 0), _fl(0, 1), _FE],
+       MODELS,
+       {"strict": _ex({(0, 0), (0, 8), (7, 0), (7, 8)},
+                      static=["strict.multi-write-barrier"]),
+        "epoch": _ex({(0, 0), (0, 8), (7, 0), (7, 8)},
+                     static=["strict.multi-write-barrier"]),
+        "strand": _ex({(0, 0), (0, 8), (7, 0), (7, 8)})}),
+
+    _t("unflushed-reorder", "ordering",
+       "Epoch eviction reorders around an explicit persist",
+       """Store x without flushing it, then fully persist y. Under
+       strict persistency x simply never becomes durable: two outcomes.
+       Under epoch and strand persistency the dirty x line may be
+       spontaneously evicted *before* y's explicit persist — (1, 0) is
+       admissible — which is why "I only care about y" still obligates
+       flushing x before relying on cross-field invariants.""",
+       [_st(0, 0, 1), _st(1, 0, 2), _fl(1, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0, 0), (0, 2)},
+                      static=["strict.unflushed-write"]),
+        "epoch": _ex({(0, 0), (0, 2), (1, 0), (1, 2)},
+                     static=["epoch.unflushed-write"]),
+        "strand": _ex({(0, 0), (0, 2), (1, 0), (1, 2)},
+                      static=["epoch.unflushed-write"])}),
+)
+
+# ---------------------------------------------------------------------------
+# epoch: ordering at epoch granularity (epoch model only)
+# ---------------------------------------------------------------------------
+
+_EPOCH = (
+    _t("epoch-clean", "epoch", "A fenced epoch",
+       """The well-formed epoch idiom: begin, mutate, flush, end, fence.
+       The fence after the epoch boundary is what gives the *next*
+       epoch its ordering guarantee.""",
+       [_EB, _st(0, 0, 5), _fl(0, 0), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0,), (5,)})}),
+
+    _t("epoch-missing-barrier", "epoch",
+       "Back-to-back epochs without a fence collapse into one",
+       """Two epochs with no fence between them: both lines are still
+       queued when the crash hits, so the second epoch's write can
+       persist before the first's — all four images are admissible,
+       exactly as if there were no epoch boundary at all. The checker
+       reports the missing inter-epoch barrier.""",
+       [_EB, _st(0, 0, 1), _fl(0, 0), _EE,
+        _EB, _st(1, 0, 2), _fl(1, 0), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0, 0), (0, 2), (1, 0), (1, 2)},
+                     static=["epoch.missing-barrier"])}),
+
+    _t("epoch-barriered", "epoch", "A fence between epochs orders them",
+       """The fixed variant of epoch-missing-barrier: fencing between
+       the epochs forbids the reordered image (0, 2), leaving the same
+       monotone outcome chain as fenced message passing.""",
+       [_EB, _st(0, 0, 1), _fl(0, 0), _EE, _FE,
+        _EB, _st(1, 0, 2), _fl(1, 0), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0, 0), (1, 0), (1, 2)})}),
+
+    _t("epoch-nested-missing-barrier", "epoch",
+       "An inner epoch needs its own barrier",
+       """A nested epoch ends, its writes still in flight, and the outer
+       epoch keeps mutating: inner and outer writes reorder freely (all
+       four images). The checker distinguishes this from the top-level
+       case and reports the nested missing barrier.""",
+       [_EB, _EB, _st(0, 0, 5), _fl(0, 0), _EE,
+        _st(1, 0, 2), _fl(1, 0), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0, 0), (0, 2), (5, 0), (5, 2)},
+                     static=["epoch.nested-missing-barrier"])}),
+
+    _t("epoch-split-object", "epoch",
+       "Splitting one object across epochs is suspicious",
+       """Two properly fenced epochs update disjoint fields of the same
+       object. The *ordering* is fine — the outcome set is the monotone
+       chain — but updating one logical object across two failure-atomic
+       units usually means a half-updated object is considered
+       recoverable; the checker flags the semantic mismatch between the
+       epoch boundaries and the object boundary.""",
+       [_EB, _st(0, 0, 1), _fl(0, 0), _EE, _FE,
+        _EB, _st(0, 1, 2), _fl(0, 1), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0, 0), (1, 0), (1, 2)},
+                     static=["epoch.semantic-mismatch"])}),
+
+    _t("epoch-multi-field", "epoch",
+       "Inside one epoch, co-located writes are the point",
+       """Both fields of one object updated inside a single epoch and
+       fenced once. The images can tear (any subset of the two lines)
+       — that is what an epoch *means*: atomicity is the epoch, not the
+       store. Unlike the bare two-fields-one-fence pattern, no
+       multi-write warning fires, because the epoch declares the
+       grouping intentional.""",
+       [_EB, _st(0, 0, 1), _fl(0, 0), _st(0, 1, 2), _fl(0, 1), _EE, _FE],
+       ("epoch",),
+       {"epoch": _ex({(0, 0), (0, 2), (1, 0), (1, 2)})}),
+
+    _t("epoch-trailing", "epoch", "A final epoch may end the program",
+       """An epoch that ends the program without a trailing fence is not
+       a missing-barrier violation — the rule orders an epoch against
+       the *next* one, and there is none. The queued line may or may not
+       have drained at the crash, hence both outcomes.""",
+       [_EB, _st(0, 0, 5), _fl(0, 0), _EE],
+       ("epoch",),
+       {"epoch": _ex({(0,), (5,)})}),
+)
+
+# ---------------------------------------------------------------------------
+# strand: intra-strand order only (strand model only)
+# ---------------------------------------------------------------------------
+
+_STRAND = (
+    _t("strand-independent", "strand",
+       "Strands over disjoint data are free",
+       """Two strands persist different objects. Strand persistency
+       orders persists only within a strand, so the two updates reorder
+       freely (all four images) — and that is the model working as
+       intended, not a bug: nothing fires.""",
+       [_SB, _st(0, 0, 1), _fl(0, 0), _SE,
+        _SB, _st(1, 0, 2), _fl(1, 0), _SE, _FE],
+       ("strand",),
+       {"strand": _ex({(0, 0), (0, 2), (1, 0), (1, 2)})}),
+
+    _t("strand-dependence", "strand",
+       "Strands touching the same word race",
+       """Two strands write the same field with no fence between them.
+       Inter-strand persists are unordered, so which value survives is a
+       race; both the static checker (consecutive strands with
+       overlapping writes) and the happens-before runtime (same word,
+       different strands, same fence epoch) report the dependence.""",
+       [_SB, _st(0, 0, 1), _fl(0, 0), _SE,
+        _SB, _st(0, 0, 2), _fl(0, 0), _SE, _FE],
+       ("strand",),
+       {"strand": _ex({(0,), (1,), (2,)},
+                      static=["strand.dependence"],
+                      dynamic=["strand.dependence"])}),
+
+    _t("strand-fenced", "strand", "A fence between strands orders them",
+       """The fixed variant of strand-dependence: a fence between the
+       strands serialises the conflicting persists, and both checkers
+       go quiet. The outcome set is the monotone overwrite chain.""",
+       [_SB, _st(0, 0, 1), _fl(0, 0), _SE, _FE,
+        _SB, _st(0, 0, 2), _fl(0, 0), _SE, _FE],
+       ("strand",),
+       {"strand": _ex({(0,), (1,), (2,)})}),
+
+    _t("strand-disjoint-fields", "strand",
+       "Strand independence is field-granular",
+       """Two strands write *different fields* of the same object. The
+       write sets do not overlap, so no dependence exists — object-level
+       aliasing is not enough — and the persists reorder freely, like
+       the independent-objects case.""",
+       [_SB, _st(0, 0, 1), _fl(0, 0), _SE,
+        _SB, _st(0, 1, 2), _fl(0, 1), _SE, _FE],
+       ("strand",),
+       {"strand": _ex({(0, 0), (0, 2), (1, 0), (1, 2)})}),
+)
+
+# ---------------------------------------------------------------------------
+# tx: durable-transaction commit windows (strict + epoch)
+# ---------------------------------------------------------------------------
+
+_TX = (
+    _t("tx-commit-window", "tx", "The commit window is visible",
+       """A logged transaction updates two fields; commit flushes the
+       log's ranges and fences. A crash *inside* the commit window —
+       after the commit flushes queue the lines, before the commit fence
+       retires — can expose any subset of the two lines, so all four
+       images are admissible even though the program has no explicit
+       flush at all. (Recovery would roll the partial images back via
+       the undo log; the outcome set documents the raw window.) Under
+       epoch persistency the same four images are reachable even
+       earlier, via in-epoch eviction.""",
+       [_TB, _ta(0), _st(0, 0, 7), _st(0, 1, 8), _TE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0, 0), (0, 8), (7, 0), (7, 8)}),
+        "epoch": _ex({(0, 0), (0, 8), (7, 0), (7, 8)})}),
+
+    _t("tx-unlogged-write", "tx", "Unlogged writes do not commit",
+       """The transaction logs obj0 but also writes obj1. Commit only
+       flushes logged ranges, so under strict persistency the unlogged
+       write can never persist — and the checker reports it at the
+       transaction end. Under epoch persistency eviction can leak the
+       unlogged value out anyway (all four images), which is exactly
+       why the leak is a *model-dependent* bug.""",
+       [_TB, _ta(0), _st(0, 0, 7), _st(1, 0, 9), _TE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0, 0), (7, 0)},
+                      static=["strict.unflushed-write"]),
+        "epoch": _ex({(0, 0), (0, 9), (7, 0), (7, 9)},
+                     static=["epoch.unflushed-write"])}),
+
+    _t("tx-empty", "tx", "An empty durable transaction",
+       """A begin/end pair with no logged write pays two region
+       crossings and commits nothing — the performance checker flags
+       it. The unrelated persist that follows behaves normally.""",
+       [_TB, _TE, _st(0, 0, 5), _fl(0, 0), _FE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0,), (5,)}, static=["perf.empty-durable-tx"]),
+        "epoch": _ex({(0,), (5,)}, static=["perf.empty-durable-tx"])}),
+
+    _t("tx-double-log", "tx", "Logging a range twice doubles the commit",
+       """The same object is undo-logged twice, so commit snapshots and
+       flushes it twice — correct, but the duplicated persist work is
+       flagged. The outcome set is the plain committed/uncommitted
+       pair.""",
+       [_TB, _ta(0), _ta(0), _st(0, 0, 7), _TE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0,), (7,)}, static=["perf.multi-persist-tx"]),
+        "epoch": _ex({(0,), (7,)}, static=["perf.multi-persist-tx"])}),
+
+    _t("tx-flush-inside", "tx", "Flushing logged data inside the tx",
+       """Explicitly flushing a range the commit will flush again is the
+       multi-persist anti-pattern inside a transaction: semantically
+       harmless (same outcome pair), but the line crosses the persist
+       pipeline twice. Strict mode also reports the flush itself as
+       unbarriered — like tx-after-unfenced-flush, the only fence it
+       ever meets is the commit's implicit one.""",
+       [_TB, _ta(0), _st(0, 0, 7), _fl(0, 0), _TE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0,), (7,)}, static=["perf.multi-persist-tx",
+                                            "strict.missing-barrier"]),
+        "epoch": _ex({(0,), (7,)}, static=["perf.multi-persist-tx"])}),
+
+    _t("tx-then-store", "tx", "The commit fence does not cover later writes",
+       """A committed transaction followed by a bare store. The commit's
+       fence orders everything before it, but the trailing store is
+       outside the transaction: never durable under strict persistency,
+       evictable under epoch persistency — and in the epoch case only
+       *after* the committed value, so (0, 9) is inadmissible.""",
+       [_TB, _ta(0), _st(0, 0, 7), _TE, _st(1, 0, 9)],
+       ("strict", "epoch"),
+       {"strict": _ex({(0, 0), (7, 0)},
+                      static=["strict.unflushed-write"]),
+        "epoch": _ex({(0, 0), (7, 0), (7, 9)},
+                     static=["epoch.unflushed-write"])}),
+
+    _t("tx-after-unfenced-flush", "tx",
+       "A commit fence drains bystanders too",
+       """An unfenced flush, then an unrelated transaction. The commit's
+       fence is a *global* persist barrier: it retires the bystander
+       flush as well, so (5, 7) is reachable and x needs no fence of its
+       own — but strict mode still reports the flush-then-tx-begin
+       idiom, because relying on someone else's commit for your barrier
+       is how fences go missing when the transaction is refactored
+       away.""",
+       [_st(0, 0, 5), _fl(0, 0), _TB, _ta(1), _st(1, 0, 7), _TE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0, 0), (0, 7), (5, 0), (5, 7)},
+                      static=["strict.missing-barrier"]),
+        "epoch": _ex({(0, 0), (0, 7), (5, 0), (5, 7)})}),
+)
+
+# ---------------------------------------------------------------------------
+# perf: Table 5 patterns (all models)
+# ---------------------------------------------------------------------------
+
+_PERF = (
+    _t("flush-unmodified", "perf", "Flushing a clean line",
+       """The second flush targets an object that was never written: a
+       wasted pipeline crossing, reported by the performance rule under
+       every model. The outcome set is untouched — flushing clean data
+       is a cost bug, not a correctness bug.""",
+       [_st(0, 0, 5), _fl(0, 0), _FE, _fl(1, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}, static=["perf.flush-unmodified"]),
+        "epoch": _ex({(0,), (5,)}, static=["perf.flush-unmodified"]),
+        "strand": _ex({(0,), (5,)}, static=["perf.flush-unmodified"])}),
+
+    _t("redundant-flush", "perf", "Flushing the same line twice",
+       """Two flushes of one dirty line with no store between them: the
+       second is redundant (the line is already queued) and the
+       performance rule fires under every model. FIFO requeueing means
+       the semantics are unchanged.""",
+       [_st(0, 0, 5), _fl(0, 0), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}, static=["perf.redundant-flush"]),
+        "epoch": _ex({(0,), (5,)}, static=["perf.redundant-flush"]),
+        "strand": _ex({(0,), (5,)}, static=["perf.redundant-flush"])}),
+)
+
+# ---------------------------------------------------------------------------
+# faults: injected device misbehaviour (strict + epoch)
+# ---------------------------------------------------------------------------
+
+_FAULTS = (
+    _t("dropped-writeback", "faults", "A dropped drain defeats the fence",
+       """The device silently drops x's write-back during the first
+       fence: the fence retires with x still only in cache, and the
+       *later* persist of y succeeds — so the crash can expose y without
+       x, the exact reordering the fence was meant to forbid. Static
+       analysis of the program (which is flawless) reports nothing;
+       only trace-level enumeration sees the hole. Note (5, 2) is still
+       inadmissible: once dropped, x has no further path to NVM in this
+       trace.""",
+       [_st(0, 0, 5), _fl(0, 0), _FE, _st(1, 0, 2), _fl(1, 0), _FE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0, 0), (5, 0), (0, 2)}),
+        "epoch": _ex({(0, 0), (5, 0), (0, 2)})},
+       fault={"kind": "drop", "at": 0}),
+
+    _t("torn-writeback", "faults", "A torn line persists a prefix",
+       """The drain tears after 4 of the line's bytes: the field stores
+       2**32 + 1 but the device keeps only the low word, so recovery
+       reads the value 1 — neither the old nor the new value. The
+       admissible images are old (0), fully-new (2**32 + 1, if the
+       crash preempts the drain), and torn (1).""",
+       [_st(0, 0, TORN_VALUE), _fl(0, 0), _FE],
+       ("strict", "epoch"),
+       {"strict": _ex({(0,), (TORN_VALUE,), (1,)}),
+        "epoch": _ex({(0,), (TORN_VALUE,), (1,)})},
+       fault={"kind": "torn", "at": 0, "keep": 4}),
+)
+
+# ---------------------------------------------------------------------------
+# lowering: the same persist through non-trivial control flow (all models)
+# ---------------------------------------------------------------------------
+
+_LOWERING = (
+    _t("loop-persist", "lowering", "A persist loop",
+       """The complete persist executed twice by a counted loop. Each
+       iteration re-stores the same value, so the outcome set collapses
+       to the plain pair — the point is that loop-carried control flow
+       (a real back-edge in the IR, explored at multiple trip counts by
+       the static collector) neither adds nor masks reports.""",
+       [_st(0, 0, 5), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}),
+        "epoch": _ex({(0,), (5,)}),
+        "strand": _ex({(0,), (5,)})},
+       loop_count=2),
+
+    _t("helper-persist", "lowering", "A persist behind a call",
+       """The complete persist moved into a helper function, so the
+       store, flush, and fence the checker must connect sit behind a
+       call edge and a pointer argument. Interprocedural analysis keeps
+       the verdict identical to the inline pattern: clean, two
+       outcomes.""",
+       [_st(0, 0, 5), _fl(0, 0), _FE],
+       MODELS,
+       {"strict": _ex({(0,), (5,)}),
+        "epoch": _ex({(0,), (5,)}),
+        "strand": _ex({(0,), (5,)})},
+       helper_depth=1),
+)
+
+
+CATALOG: Tuple[LitmusTest, ...] = (
+    _ORDERING + _EPOCH + _STRAND + _TX + _PERF + _FAULTS + _LOWERING)
+
+#: catalog rendering order for docs and reports
+GROUPS: Tuple[str, ...] = (
+    "ordering", "epoch", "strand", "tx", "perf", "faults", "lowering")
+
+
+def get_test(name: str) -> LitmusTest:
+    for test in CATALOG:
+        if test.name == name:
+            return test
+    raise KeyError(f"unknown litmus test {name!r}")
+
+
+def cases(tests: Optional[Iterable[LitmusTest]] = None,
+          models: Optional[Iterable[str]] = None
+          ) -> List[Tuple[LitmusTest, str]]:
+    """(test, model) pairs in catalog order, optionally filtered."""
+    model_filter = tuple(models) if models is not None else None
+    out: List[Tuple[LitmusTest, str]] = []
+    for test in (tests if tests is not None else CATALOG):
+        for model in test.models:
+            if model_filter is None or model in model_filter:
+                out.append((test, model))
+    return out
+
+
+def validate_catalog(catalog: Iterable[LitmusTest] = CATALOG) -> List[str]:
+    """Structural problems in the catalog declarations, as messages."""
+    problems: List[str] = []
+    seen = set()
+    for test in catalog:
+        where = f"litmus {test.name!r}"
+        if test.name in seen:
+            problems.append(f"{where}: duplicate name")
+        seen.add(test.name)
+        if not test.models:
+            problems.append(f"{where}: no models")
+        for model in test.models:
+            if model not in MODELS:
+                problems.append(f"{where}: unknown model {model!r}")
+        if set(test.expected) != set(test.models):
+            problems.append(
+                f"{where}: expected keys {sorted(test.expected)} != "
+                f"models {sorted(test.models)}")
+        if not test.ops:
+            problems.append(f"{where}: empty op stream")
+        depth: Dict[str, int] = {"epoch": 0, "strand": 0, "tx": 0}
+        for op in test.ops:
+            if op[0] not in OP_KINDS:
+                problems.append(f"{where}: unknown op kind {op[0]!r}")
+                continue
+            for region in depth:
+                if op[0] == f"{region}_begin":
+                    depth[region] += 1
+                elif op[0] == f"{region}_end":
+                    depth[region] -= 1
+                    if depth[region] < 0:
+                        problems.append(f"{where}: unbalanced {region}")
+        for region, d in depth.items():
+            if d > 0:
+                problems.append(f"{where}: unclosed {region}")
+        objs = {op[1] for op in test.ops
+                if op[0] in ("store", "flush", "tx_add")}
+        if objs and objs != set(range(max(objs) + 1)):
+            problems.append(f"{where}: non-contiguous object indices")
+        if not test.observed_fields():
+            problems.append(f"{where}: no stored field to observe")
+        n_fields = sum(test.field_counts)
+        for model, exp in test.expected.items():
+            if not exp.outcomes:
+                problems.append(f"{where}/{model}: empty outcome set")
+            width = len(test.observed_fields())
+            for outcome in exp.outcomes:
+                if len(outcome) != width:
+                    problems.append(
+                        f"{where}/{model}: outcome width {len(outcome)} "
+                        f"!= {width} observed fields")
+        if n_fields > 8:
+            problems.append(f"{where}: too many fields ({n_fields})")
+    return problems

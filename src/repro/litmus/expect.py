@@ -1,0 +1,192 @@
+"""Spec-level expected-outcome simulation for litmus tests.
+
+:func:`simulate_outcomes` is the litmus suite's second, independent
+implementation of the persist pipeline: it mirrors the crashsim replay
+machine (:class:`repro.crashsim.enumerate.ReplayState`) at *field*
+granularity — every litmus payload field owns its cacheline, so a
+field-keyed pipeline is exact — and enumerates the union, over every
+crash point, of the persistent-state valuations a power failure could
+expose. Crashsim derives the same set from a recorded byte-level trace
+of the executed IR; if the two disagree, one of the two pipeline
+implementations (or the lowering between them) is wrong. That pairwise
+check is the litmus suite's core semantics assertion.
+
+The crash points mirror the trace's event prefixes exactly:
+
+* one before any op (allocations done, everything zero);
+* one after every ``store``/``flush``/``fence`` primitive;
+* during a durable-transaction commit, one after each logged range's
+  commit flush and one after the commit fence (the VM emits real
+  flush/fence events there, so crashsim has those prefixes too);
+* for injected faults, one after the ``drop``/``torn`` event itself,
+  *before* the enclosing fence completes (faulted drains emit their own
+  trace event ahead of the fence event).
+
+Rule expectations reuse the fuzzer's simulators unchanged
+(:func:`repro.fuzz.expect.expected_static_rules` and
+:func:`~repro.fuzz.expect.expected_dynamic_rules` both accept a litmus
+spec), so the static/dynamic legs of the suite validate the same
+machines the fuzzer diffs against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..crashsim.enumerate import _EPOCH_LIKE
+from .spec import litmus_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from .catalog import LitmusTest
+
+#: a field key: (object index, field index) — one cacheline each
+FieldKey = Tuple[int, int]
+
+#: one admissible persistent valuation of the observed fields
+Outcome = Tuple[int, ...]
+
+
+def _torn_value(new: int, old: int, keep: int) -> int:
+    """Field value after a torn write-back persisting ``keep`` line bytes.
+
+    The field occupies the first 8 bytes of its line, little-endian, so
+    the device ends up with the first ``min(keep, 8)`` bytes of the new
+    value and the old tail.
+    """
+    k = max(0, min(keep, 8))
+    new8 = new.to_bytes(8, "little", signed=True)
+    old8 = old.to_bytes(8, "little", signed=True)
+    return int.from_bytes(new8[:k] + old8[k:], "little", signed=True)
+
+
+class _FieldPipeline:
+    """The persist pipeline, one entry per payload field/cacheline.
+
+    Mirrors ``ReplayState`` exactly: stores dirty a line, flushes move
+    dirty lines to a FIFO pending set (re-flush re-queues at the tail),
+    fences drain pending and close the epoch window; injected ``drop``
+    leaves the line dirty-but-unqueued, ``torn`` persists a prefix and
+    cleans the line. ``epoch_dirty`` — the set of lines stored since the
+    last fence — is the extra candidate pool of the epoch/strand models.
+    """
+
+    def __init__(self, fields: List[FieldKey], epoch_like: bool,
+                 fault: Optional[Dict] = None):
+        self.durable: Dict[FieldKey, int] = {f: 0 for f in fields}
+        self.current: Dict[FieldKey, int] = {f: 0 for f in fields}
+        self.dirty: Set[FieldKey] = set()
+        #: insertion-ordered pending set (dict keys model the FIFO)
+        self.pending: Dict[FieldKey, None] = {}
+        self.epoch_dirty: Set[FieldKey] = set()
+        self.epoch_like = epoch_like
+        self.fault = dict(fault) if fault else None
+        #: drain-consultation ordinal, matching FaultInjector's counter
+        self.drain_ordinal = 0
+
+    def candidates(self) -> Set[FieldKey]:
+        out = set(self.pending)
+        if self.epoch_like:
+            out |= self.epoch_dirty
+        return out
+
+    # -- primitive steps ----------------------------------------------------
+    def store(self, key: FieldKey, value: int) -> None:
+        self.current[key] = value
+        self.dirty.add(key)
+        self.epoch_dirty.add(key)
+
+    def flush(self, key: FieldKey) -> None:
+        if key in self.dirty:
+            self.pending.pop(key, None)
+            self.pending[key] = None
+
+    def fence(self, crash_point) -> None:
+        """Drain pending in FIFO order; ``crash_point()`` is called once
+        per emitted fault event (the replayable prefixes) — the final
+        post-fence crash point is the caller's."""
+        for key in list(self.pending):
+            ordinal = self.drain_ordinal
+            self.drain_ordinal += 1
+            f = self.fault
+            if f is not None and f["at"] == ordinal:
+                if f["kind"] == "drop":
+                    # the clwb is lost: dequeued but still dirty — and
+                    # still inside the epoch window until the fence ends
+                    del self.pending[key]
+                    crash_point()
+                elif f["kind"] == "torn":
+                    self.durable[key] = _torn_value(
+                        self.current[key], self.durable[key],
+                        int(f.get("keep", 0)))
+                    self.dirty.discard(key)
+                    del self.pending[key]
+                    crash_point()
+        for key in self.pending:
+            self.durable[key] = self.current[key]
+            self.dirty.discard(key)
+        self.pending.clear()
+        self.epoch_dirty.clear()
+
+
+def simulate_outcomes(test: "LitmusTest", model: str) -> FrozenSet[Outcome]:
+    """Admissible persistent valuations of ``test``'s observed fields
+    under ``model``, unioned over every crash point."""
+    spec = litmus_spec(test, model)
+    observed = test.observed_fields()
+    fields = [(obj, f) for obj, n in enumerate(test.field_counts)
+              for f in range(n)]
+    pipe = _FieldPipeline(fields, epoch_like=model in _EPOCH_LIKE,
+                          fault=test.fault)
+    outcomes: Set[Outcome] = set()
+
+    def crash_point() -> None:
+        cands = pipe.candidates()
+        choices = []
+        for key in observed:
+            vals = {pipe.durable[key]}
+            if key in cands:
+                vals.add(pipe.current[key])
+            choices.append(sorted(vals))
+        outcomes.update(itertools.product(*choices))
+
+    def object_lines(obj: int) -> List[FieldKey]:
+        return [(obj, f) for f in range(test.field_counts[obj])]
+
+    tx_stack: List[List[int]] = []
+    crash_point()  # allocations done, nothing stored yet
+    for op in spec.flat_ops():
+        kind = op[0]
+        if kind == "store":
+            pipe.store((op[1], op[2]), op[3])
+            crash_point()
+        elif kind == "flush":
+            pipe.flush((op[1], op[2]))
+            crash_point()
+        elif kind == "fence":
+            pipe.fence(crash_point)
+            crash_point()
+        elif kind == "tx_begin":
+            tx_stack.append([])
+            crash_point()
+        elif kind == "tx_add":
+            if tx_stack:
+                tx_stack[-1].append(op[1])
+            crash_point()
+        elif kind == "tx_end":
+            if tx_stack:
+                logged = tx_stack.pop()
+                if logged:
+                    # commit: one flush event per logged range (the
+                    # whole object), then a global persist barrier
+                    for obj in logged:
+                        for key in object_lines(obj):
+                            pipe.flush(key)
+                        crash_point()
+                    pipe.fence(crash_point)
+                    crash_point()
+            crash_point()
+        else:
+            # epoch/strand region boundaries have no pipeline effect
+            crash_point()
+    return frozenset(outcomes)

@@ -1,0 +1,59 @@
+"""Lowering litmus tests to verified NVM IR.
+
+A litmus test *is* a :class:`~repro.fuzz.spec.ProgramSpec` — the same op
+vocabulary, the same deterministic ``to_module`` lowering, the same
+``flat_ops`` stream the fuzzer's expectation simulators consume — with
+one deliberate difference: **no commit protocol**. The fuzzer appends a
+commit-flag store/flush/fence so its crash oracle has a decision point;
+a litmus test instead documents the raw pipeline state its op pattern
+leaves behind, including a trailing unflushed store or an unfenced
+flush, which the commit protocol's final fence would otherwise mask.
+
+Reusing :class:`ProgramSpec` is the point, not a convenience: the litmus
+suite and the fuzzer then share one lowering and one spec-level event
+vocabulary, so a semantics fix validated by the litmus wall is
+automatically the semantics the fuzzer generates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, TYPE_CHECKING
+
+from ..fuzz.spec import Op, ProgramSpec, UnitSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from .catalog import LitmusTest
+
+
+@dataclass(frozen=True)
+class LitmusSpec(ProgramSpec):
+    """A :class:`ProgramSpec` whose commit protocol is empty.
+
+    ``flat_ops`` is exactly the declared litmus op stream and the lowered
+    module ends right after the last litmus op — crash-image enumeration
+    and the expectation simulators both see the pattern undisturbed.
+    """
+
+    def commit_ops(self) -> Tuple[Op, ...]:
+        return ()
+
+
+def litmus_spec(test: "LitmusTest", model: str) -> LitmusSpec:
+    """Build the (deterministic) spec for ``test`` under ``model``.
+
+    One unit, usually inline in ``main`` with no loops, so the lowered IR
+    reads exactly like the declared op sequence — which is what makes the
+    generated MODELS.md listings usable as documentation. A few catalog
+    entries opt into ``loop_count``/``helper_depth`` to pin down the
+    loop-unrolled and interprocedural lowerings too.
+    """
+    return LitmusSpec(
+        name=f"litmus_{test.name}_{model}".replace("-", "_"),
+        model=model,
+        field_counts=tuple(test.field_counts),
+        units=(UnitSpec(index=0, template="litmus", ops=tuple(test.ops),
+                        helper_depth=test.helper_depth,
+                        loop_count=test.loop_count),),
+        label="litmus",
+    )

@@ -1,0 +1,84 @@
+"""CLI surface of `deepmc litmus`: exit codes, determinism, schema.
+
+The JSON document is a stable machine interface: the golden file pins a
+three-test subset byte-for-byte, the schema test pins the key set, and
+the jobs test pins the byte-identical parallel-output guarantee the
+other fan-out commands make.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "litmus_subset.json")
+
+
+class TestExitCodes:
+    def test_full_catalog_agrees_and_exits_zero(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "disagree" in out
+        assert "DISAGREE" not in out
+
+    def test_unknown_test_exits_two(self, capsys):
+        assert main(["litmus", "no-such-litmus"]) == 2
+        assert "no-such-litmus" in capsys.readouterr().err
+
+    def test_list_prints_catalog(self, capsys):
+        assert main(["litmus", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "store-only" in out
+        assert "strand-dependence" in out
+        assert "strict,epoch,strand" in out
+
+
+class TestGoldenJson:
+    def test_json_output_matches_golden_file(self, capsys):
+        assert main(["litmus", "store-only", "message-passing",
+                     "tx-commit-window", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        with open(GOLDEN) as fh:
+            assert out == fh.read()
+
+    def test_schema_keys_stable(self, capsys):
+        main(["litmus", "store-only", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"schema", "cases", "errors", "summary"}
+        assert doc["schema"] == "deepmc.litmus/v1"
+        assert set(doc["summary"]) == {
+            "cases", "agreeing", "disagreeing", "errors"}
+        for case in doc["cases"]:
+            assert set(case) == {
+                "test", "model", "group", "fields", "outcomes",
+                "static_rules", "dynamic_rules", "states", "crash_points",
+                "truncated", "disagreements", "agree"}
+
+    def test_model_filter(self, capsys):
+        assert main(["litmus", "store-only", "--model", "epoch",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [c["model"] for c in doc["cases"]] == ["epoch"]
+
+
+class TestJobsDeterminism:
+    def test_parallel_output_byte_identical(self, capsys):
+        args = ["litmus", "--model", "strand", "--format", "json"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestEmitDocs:
+    def test_emit_docs_matches_committed_file(self, tmp_path, capsys):
+        target = tmp_path / "MODELS.md"
+        assert main(["litmus", "--emit-docs", str(target)]) == 0
+        assert str(target) in capsys.readouterr().err
+        committed = os.path.join(os.path.dirname(__file__), "..", "..",
+                                 "docs", "MODELS.md")
+        with open(committed, encoding="utf-8") as fh:
+            assert target.read_text(encoding="utf-8") == fh.read()

@@ -1,0 +1,44 @@
+"""Outcome sets are closed under persist-equivalence pruning.
+
+The enumerator's two reductions — skipping no-op candidate lines and
+deduplicating identical images across crash points — exist purely to
+avoid re-emitting equivalent states; they must never change the *set*
+of distinct durable states. For every litmus case, enumerate the same
+trace with pruning on and off and require both the projected outcome
+set and the full distinct-image set to be identical.
+"""
+
+import pytest
+
+from repro.crashsim.enumerate import enumerate_crash_images
+from repro.crashsim.trace import record_trace
+from repro.faults.injector import FaultInjector
+from repro.litmus import cases, litmus_spec
+from repro.litmus.observe import project_outcomes
+
+CASES = cases()
+
+
+def _distinct_images(enum):
+    return {tuple(sorted((aid, bytes(buf)) for aid, buf in img.image.items()))
+            for img in enum.images}
+
+
+@pytest.mark.parametrize(
+    "test,model", CASES,
+    ids=[f"{t.name}:{m}" for t, m in CASES])
+def test_outcome_set_closed_under_pruning(test, model):
+    spec = litmus_spec(test, model)
+    injector = (FaultInjector(nvm_directive=test.fault)
+                if test.fault is not None else None)
+    trace = record_trace(spec.to_module(), entry="main",
+                         fault_injector=injector)
+    pruned = enumerate_crash_images(trace, model)
+    unpruned = enumerate_crash_images(trace, model, prune=False)
+    assert not pruned.truncated and not unpruned.truncated
+    # pruning only removes duplicates, never distinct states
+    assert _distinct_images(pruned) == _distinct_images(unpruned)
+    assert (project_outcomes(pruned, trace, test)
+            == project_outcomes(unpruned, trace, test))
+    # and it does actually prune: the raw enumeration is never smaller
+    assert unpruned.states >= pruned.states
