@@ -139,18 +139,33 @@ def _app_modules() -> List:
     return _APP_MODULES
 
 
-def _scenario_vm_apps(tel: Telemetry, config: BenchConfig) -> Dict[str, Any]:
-    """Interpreter-only run of each application's first workload mix."""
-    from ..vm.interpreter import Interpreter
+def _run_vm_apps(tel: Telemetry, config: BenchConfig,
+                 engine: Optional[str]) -> Dict[str, Any]:
+    from ..vm.engine import make_interpreter, resolve_engine
     from ..vm.scheduler import SeededScheduler
 
     steps = 0
     for _app, module in _app_modules():
-        result = Interpreter(module, telemetry=tel,
-                             scheduler=SeededScheduler(seed=1)
-                             ).run("main", [config.ops])
+        result = make_interpreter(module, engine=engine, telemetry=tel,
+                                  scheduler=SeededScheduler(seed=1)
+                                  ).run("main", [config.ops])
         steps += result.steps
-    return {"steps": steps}
+    return {"steps": steps, "engine": resolve_engine(engine)}
+
+
+def _scenario_vm_apps(tel: Telemetry, config: BenchConfig) -> Dict[str, Any]:
+    """Interpreter-only run of each application's first workload mix."""
+    return _run_vm_apps(tel, config, engine=None)
+
+
+def _scenario_vm_apps_bytecode(tel: Telemetry,
+                               config: BenchConfig) -> Dict[str, Any]:
+    """The same application workloads, engine pinned to ``bytecode``.
+
+    ``vm_apps`` follows the ambient engine (``DEEPMC_ENGINE``), so an
+    engine A/B comparison is one env var away; this scenario stays on
+    the fast path regardless, anchoring the bytecode trajectory."""
+    return _run_vm_apps(tel, config, engine="bytecode")
 
 
 def _scenario_profiler_overhead(tel: Telemetry,
@@ -163,16 +178,16 @@ def _scenario_profiler_overhead(tel: Telemetry,
     wall-clock covers both runs; the interesting number is
     ``overhead_pct`` in the workload payload.
     """
-    from ..vm.interpreter import Interpreter
+    from ..vm.engine import make_interpreter
     from ..vm.scheduler import SeededScheduler
 
     _app, module = _app_modules()[0]
 
     def timed(op_profile: bool) -> float:
         t0 = perf_counter()
-        Interpreter(module, telemetry=tel, op_profile=op_profile,
-                    scheduler=SeededScheduler(seed=1)
-                    ).run("main", [config.ops])
+        make_interpreter(module, telemetry=tel, op_profile=op_profile,
+                         scheduler=SeededScheduler(seed=1)
+                         ).run("main", [config.ops])
         return perf_counter() - t0
 
     base_s = min(timed(False) for _ in range(2))
@@ -213,6 +228,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("vm_apps",
                  "interpreter-only run of the application workloads",
                  _scenario_vm_apps),
+        Scenario("vm_apps_bytecode",
+                 "application workloads pinned to the bytecode engine",
+                 _scenario_vm_apps_bytecode),
         Scenario("op_profiler_overhead",
                  "VM op profiler self-overhead, profiler off vs on",
                  _scenario_profiler_overhead),

@@ -23,7 +23,7 @@ from ..corpus import REGISTRY
 from ..corpus.registry import CorpusProgram, PERFORMANCE_CLASSES
 from ..dynamic.checker import DynamicChecker
 from ..ir.verifier import verify_module
-from ..vm.interpreter import Interpreter
+from ..vm.engine import make_interpreter
 
 
 # ---------------------------------------------------------------------------
@@ -123,8 +123,8 @@ def measure_dynamic_overhead(
     def run_base() -> None:
         # Same scheduler class as the checked run so the comparison
         # isolates the instrumentation + runtime cost.
-        Interpreter(base_module,
-                    scheduler=SeededScheduler(seed=1)).run("main", [ops])
+        make_interpreter(base_module,
+                         scheduler=SeededScheduler(seed=1)).run("main", [ops])
 
     base_s = _best_run_seconds(run_base, repeats)
 
@@ -201,7 +201,7 @@ def measure_fix_speedups(repeat: int = 64) -> List[FixSpeedup]:
         cycles: Dict[object, int] = {}
         for fixed in (False, "perf"):
             module = program.build(fixed=fixed, repeat=repeat)
-            result = Interpreter(module).run(program.entry)
+            result = make_interpreter(module).run(program.entry)
             cycles[fixed] = result.stats.cycles
         out.append(FixSpeedup(program.name, cycles[False], cycles["perf"]))
     return sorted(out, key=lambda s: -s.improvement_pct)

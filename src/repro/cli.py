@@ -10,6 +10,7 @@ Subcommands::
                  [--cache | --cache-dir DIR]
     deepmc profile FILE.nvmir [--run] [--format text|json]
     deepmc run FILE.nvmir [--entry main] [--arg N ...]
+                [--engine tree|bytecode] [--dump-bytecode]
     deepmc corpus [--framework pmdk|pmfs|nvm_direct|mnemosyne]
                   [--jobs N] [--cache | --cache-dir DIR]
     deepmc bench [SCENARIO ...] [--repeat N] [--warmup N] [--out-dir DIR]
@@ -35,7 +36,7 @@ from .dynamic.checker import DynamicChecker
 from .errors import ReproError
 from .ir.parser import parse_module
 from .telemetry import JsonlSink, LogfmtSink, Telemetry, render_profile_tree
-from .vm.interpreter import Interpreter
+from .vm.engine import ENGINES, make_interpreter
 
 
 def _load_module(path: str):
@@ -147,7 +148,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         checker = StaticChecker(module, model=args.model, telemetry=tel)
         report = checker.run()
         if args.run:
-            interp = Interpreter(module, telemetry=tel)
+            interp = make_interpreter(module, telemetry=tel)
             interp.run(args.entry, [int(a) for a in args.arg])
         top.set("warnings", len(report))
     profiler = interp.op_profiler if interp is not None else None
@@ -177,8 +178,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     tel = _telemetry_for(args)
     module = _load_module(args.file)
-    interp = Interpreter(module, telemetry=tel,
-                         trace_instructions=args.trace_instructions)
+    if args.dump_bytecode:
+        from .vm.compile import compile_module
+
+        print(compile_module(module).disassemble())
+        return 0
+    interp = make_interpreter(module, engine=args.engine, telemetry=tel,
+                              trace_instructions=args.trace_instructions)
     result = interp.run(args.entry, [int(a) for a in args.arg])
     for line in result.output:
         print(line)
@@ -315,6 +321,7 @@ def cmd_crashsim(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         max_states=args.max_states,
         telemetry=tel,
+        engine=args.engine,
     )
     # stdout carries only deterministic content (counts, image indices,
     # coordinates) so --jobs N output is byte-identical to serial;
@@ -377,7 +384,8 @@ def cmd_litmus(args: argparse.Namespace) -> int:
     models = [args.model] if args.model else None
     tel = _telemetry_for(args)
     payload = run_litmus(tests=tests, models=models, jobs=args.jobs,
-                         max_states=args.max_states, telemetry=tel)
+                         max_states=args.max_states, telemetry=tel,
+                         engine=args.engine)
     # stdout carries only deterministic content (declared expectations,
     # image counts, disagreement diffs) so --jobs N is byte-identical
     if args.format == "json":
@@ -480,6 +488,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         artifacts_dir=args.artifacts,
         telemetry=tel,
+        engine=args.engine,
     )
     # the report excludes jobs/timing, so --jobs N stdout is
     # byte-identical to serial (same guarantee as crashsim/chaos)
@@ -579,6 +588,12 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
                         "this cache directory")
 
 
+def _add_engine_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", choices=list(ENGINES), default=None,
+                   help="VM execution engine (default: $DEEPMC_ENGINE or "
+                        "bytecode; tree is the reference walker)")
+
+
 def _add_observability_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--profile", action="store_true",
                    help="print the span profile tree to stderr")
@@ -639,9 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arg", action="append", default=[],
                    help="integer argument for the entry function")
     _add_observability_flags(p)
+    _add_engine_flag(p)
     p.add_argument("--trace-instructions", action="store_true",
                    help="emit one event per executed instruction to the "
                         "trace sinks (large!)")
+    p.add_argument("--dump-bytecode", action="store_true",
+                   help="print the compiled register bytecode instead of "
+                        "running the program")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("corpus", help="run detection over the bug corpus")
@@ -718,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate programs on N worker processes "
                         "(default: 1, serial)")
     _add_observability_flags(p)
+    _add_engine_flag(p)
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (json is machine-readable and "
                         "schema-stable)")
@@ -747,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run cases on N worker processes (default: 1, "
                         "serial; output is byte-identical either way)")
     _add_observability_flags(p)
+    _add_engine_flag(p)
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (json is machine-readable and "
                         "schema-stable)")
@@ -813,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report disagreements unshrunk (faster triage "
                         "of wide breakage)")
     _add_observability_flags(p)
+    _add_engine_flag(p)
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="report format (json is machine-readable and "
                         "schema-stable)")

@@ -48,6 +48,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..errors import VMError
 from ..ir.module import Module
 from ..vm.crash import CrashState
+from ..vm.engine import make_interpreter
 from ..vm.interpreter import Interpreter
 from .enumerate import CrashImage, OpenTx
 
@@ -113,7 +114,7 @@ def run_recovery_entry(module: Module, entry: str, image: Dict[int, bytes],
     VM's *durable* image — recovery code is held to the same persistency
     rules as the code it repairs.
     """
-    interp = Interpreter(module)
+    interp = make_interpreter(module)
     ptrs = []
     for aid, alloc in sorted(recording.memory.persistent_allocations().items()):
         data = image.get(aid)

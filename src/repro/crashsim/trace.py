@@ -25,6 +25,7 @@ from ..ir.module import Module
 from ..nvm.cacheline import LineId, lines_covering
 from ..telemetry import Telemetry
 from ..telemetry.sinks import Sink
+from ..vm.engine import make_interpreter
 from ..vm.interpreter import ExecResult, Interpreter
 
 
@@ -152,6 +153,7 @@ class PersistTrace:
 def record_trace(module: Module, entry: str = "main",
                  args: Sequence[Any] = (),
                  telemetry: Optional[Telemetry] = None,
+                 engine: Optional[str] = None,
                  **interp_kwargs: Any) -> PersistTrace:
     """Execute ``entry`` once and return its persist-event trace.
 
@@ -169,7 +171,8 @@ def record_trace(module: Module, entry: str = "main",
     tel = Telemetry(sinks=[recorder])
     observed = telemetry is not None and telemetry.enabled
     interp_kwargs.setdefault("op_profile", observed)
-    interp = Interpreter(module, telemetry=tel, **interp_kwargs)
+    interp = make_interpreter(module, engine=engine, telemetry=tel,
+                              **interp_kwargs)
     recorder.attach(interp)
     result = interp.run(entry, args)
     if observed:

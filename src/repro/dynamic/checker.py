@@ -14,7 +14,9 @@ from ..checker.report import Report
 from ..ir.module import Module
 from ..models import get_model
 from ..telemetry import NULL_TELEMETRY, Telemetry
-from ..vm.interpreter import ExecResult, Interpreter
+from ..vm.compile import invalidate_bytecode_cache
+from ..vm.engine import make_interpreter, use_engine
+from ..vm.interpreter import ExecResult
 from ..vm.scheduler import SeededScheduler
 from .instrumenter import Instrumenter
 from .runtime import DeepMCRuntime
@@ -43,6 +45,9 @@ class DynamicChecker:
             self.instrumenter = Instrumenter(
                 module, instrument_reads=instrument_reads)
             self.hooks_inserted = self.instrumenter.run()
+            # instrumentation rewrote the IR in place: any bytecode
+            # compiled from the pre-instrumentation module is stale
+            invalidate_bytecode_cache(module)
             sp.set("hooks", self.hooks_inserted)
         self.runs: List[DynamicRunResult] = []
 
@@ -52,6 +57,7 @@ class DynamicChecker:
         args: Sequence[Any] = (),
         seeds: Sequence[int] = (1,),
         switch_prob: float = 0.1,
+        engine: Optional[str] = None,
         **interp_kwargs: Any,
     ) -> Tuple[Report, List[DynamicRunResult]]:
         """Execute under each seed; returns (merged report, run results)."""
@@ -60,13 +66,14 @@ class DynamicChecker:
         for seed in seeds:
             with tel.span("dynamic.run", seed=seed) as sp:
                 runtime = DeepMCRuntime()
-                interp = Interpreter(
-                    self.module,
-                    scheduler=SeededScheduler(seed=seed,
-                                              switch_prob=switch_prob),
-                    telemetry=self.telemetry if tel.enabled else None,
-                    **interp_kwargs,
-                )
+                with use_engine(engine):
+                    interp = make_interpreter(
+                        self.module,
+                        scheduler=SeededScheduler(seed=seed,
+                                                  switch_prob=switch_prob),
+                        telemetry=self.telemetry if tel.enabled else None,
+                        **interp_kwargs,
+                    )
                 interp.deepmc_runtime = runtime
                 result = interp.run(entry, args)
                 self.runs.append(DynamicRunResult(seed, result, runtime))

@@ -6,13 +6,39 @@ dirty lines, ``clwb`` writes lines back, crash states are line-atomic.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Tuple
 
 #: Cacheline size in bytes (x86).
 CACHELINE = 64
 
 #: A line is identified by (allocation id, line index within allocation).
 LineId = Tuple[int, int]
+
+#: intern table for line ids, keyed alloc -> index -> tuple. The persist
+#: domain hits the same few lines millions of times per run; handing back
+#: one shared tuple per line keeps the hot store/flush path free of
+#: per-event tuple allocation. Bounds are generous (a run touching more
+#: distinct lines than this is dominated by other costs) and clearing is
+#: safe at any time: interning is an allocation cache, never identity —
+#: equal tuples behave identically as dict keys.
+_INTERNED: Dict[int, Dict[int, LineId]] = {}
+_MAX_ALLOCS = 1024
+_MAX_LINES_PER_ALLOC = 4096
+
+
+def intern_line(alloc_id: int, index: int) -> LineId:
+    """The canonical ``(alloc_id, index)`` tuple for one cacheline."""
+    per = _INTERNED.get(alloc_id)
+    if per is None:
+        if len(_INTERNED) >= _MAX_ALLOCS:
+            _INTERNED.clear()
+        per = _INTERNED[alloc_id] = {}
+    line = per.get(index)
+    if line is None:
+        if len(per) >= _MAX_LINES_PER_ALLOC:
+            per.clear()
+        line = per[index] = (alloc_id, index)
+    return line
 
 
 def line_index(offset: int) -> int:

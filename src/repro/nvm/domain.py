@@ -23,7 +23,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional
 
 from .cache import WriteBackCache
-from .cacheline import CACHELINE, LineId, line_span, lines_covering
+from .cacheline import CACHELINE, LineId, intern_line, line_span, lines_covering
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .device import NVMDevice
 from .stats import NVMStats
@@ -85,14 +85,23 @@ class PersistDomain:
     def on_store(self, alloc_id: int, offset: int, size: int) -> None:
         """A store hit persistent memory: dirty the covered lines."""
         self.stats.persistent_stores += 1
-        lines = []
-        for idx in lines_covering(offset, size):
-            line = (alloc_id, idx)
-            # A new store invalidates a pending-but-undrained flush of the
-            # same line (its content snapshot would be stale on real HW
-            # too: clwb persists whatever is in the line when it drains).
+        # Fast path: almost every store fits one cacheline. Same
+        # semantics as the loop below — one touch_dirty keeps the LRU
+        # move-to-end order identical — minus the generator machinery.
+        if 0 < size <= CACHELINE - offset % CACHELINE:
+            line = intern_line(alloc_id, offset // CACHELINE)
             self.cache.touch_dirty(line)
-            lines.append(line)
+            lines = (line,)
+        else:
+            lines = []
+            for idx in lines_covering(offset, size):
+                line = intern_line(alloc_id, idx)
+                # A new store invalidates a pending-but-undrained flush
+                # of the same line (its content snapshot would be stale
+                # on real HW too: clwb persists whatever is in the line
+                # when it drains).
+                self.cache.touch_dirty(line)
+                lines.append(line)
         if self._emit is not None:
             self._emit("persist.store", alloc=alloc_id, offset=offset,
                        size=size)
@@ -119,9 +128,11 @@ class PersistDomain:
         """
         self.stats.flushes += 1
         any_dirty = False
-        for idx in lines_covering(offset, size):
+        # Single-line fast path, mirroring on_store's: identical stats
+        # accounting and pending-queue (move-to-end) transitions.
+        if 0 < size <= CACHELINE - offset % CACHELINE:
             self.stats.cycles += self.cost.flush_issue
-            line = (alloc_id, idx)
+            line = intern_line(alloc_id, offset // CACHELINE)
             if self.cache.is_dirty(line):
                 any_dirty = True
                 if line in self._pending:
@@ -129,12 +140,25 @@ class PersistDomain:
                     self._pending.move_to_end(line)
                 else:
                     self._pending[line] = None
-            else:
-                # Flushing a clean line costs latency and NVM traffic on
-                # real hardware (clflush unconditionally writes back);
-                # count it as pure overhead.
-                if line in self._pending:
-                    self.stats.flushes_duplicate += 1
+            elif line in self._pending:
+                self.stats.flushes_duplicate += 1
+        else:
+            for idx in lines_covering(offset, size):
+                self.stats.cycles += self.cost.flush_issue
+                line = intern_line(alloc_id, idx)
+                if self.cache.is_dirty(line):
+                    any_dirty = True
+                    if line in self._pending:
+                        self.stats.flushes_duplicate += 1
+                        self._pending.move_to_end(line)
+                    else:
+                        self._pending[line] = None
+                else:
+                    # Flushing a clean line costs latency and NVM traffic
+                    # on real hardware (clflush unconditionally writes
+                    # back); count it as pure overhead.
+                    if line in self._pending:
+                        self.stats.flushes_duplicate += 1
         if not any_dirty:
             self.stats.flushes_clean += 1
         if self._emit is not None:

@@ -1,7 +1,10 @@
 """IR interpreter, simulated memory, thread scheduler, and crash injection."""
 
 from .builtins import builtin, builtin_names, is_builtin
+from .bytecode import BytecodeFunction, BytecodeInterpreter, BytecodeProgram
+from .compile import compile_module, invalidate_bytecode_cache
 from .crash import CrashRun, CrashState, PersistentObject, enumerate_crash_states, run_with_crash
+from .engine import DEFAULT_ENGINE, ENGINES, make_interpreter, resolve_engine, use_engine
 from .interpreter import CrashPoint, ExecResult, Interpreter
 from .memory import NULL, Allocation, Memory, Pointer
 from .profiler import OpProfiler, render_op_profile
@@ -9,11 +12,21 @@ from .scheduler import RoundRobinScheduler, Scheduler, SeededScheduler
 
 __all__ = [
     "Allocation",
+    "BytecodeFunction",
+    "BytecodeInterpreter",
+    "BytecodeProgram",
     "CrashPoint",
     "CrashRun",
     "CrashState",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "ExecResult",
     "Interpreter",
+    "compile_module",
+    "invalidate_bytecode_cache",
+    "make_interpreter",
+    "resolve_engine",
+    "use_engine",
     "Memory",
     "NULL",
     "OpProfiler",

@@ -17,6 +17,7 @@ from ..errors import VMError
 from ..ir import types as ty
 from ..ir.module import Module
 from ..nvm.cacheline import LineId
+from .engine import make_interpreter
 from .interpreter import CrashPoint, ExecResult, Interpreter
 from .memory import Pointer
 
@@ -148,6 +149,7 @@ def run_with_crash(
     crash: CrashPoint,
     entry: str = "main",
     args: Sequence[Any] = (),
+    engine: Optional[str] = None,
     **interp_kwargs: Any,
 ) -> CrashRun:
     """Execute ``entry`` until ``crash`` triggers; return the crash state.
@@ -155,7 +157,8 @@ def run_with_crash(
     If the crash point is never reached the program runs to completion and
     ``run.crashed`` is False — callers should assert on it.
     """
-    interp = Interpreter(module, crash_point=crash, **interp_kwargs)
+    interp = make_interpreter(module, engine=engine, crash_point=crash,
+                              **interp_kwargs)
     result = interp.run(entry, args)
     return CrashRun(result=result, state=CrashState(interp))
 

@@ -1,0 +1,81 @@
+"""Execution-engine selection: tree reference vs bytecode fast path.
+
+Every run of the VM goes through :func:`make_interpreter`, which picks
+between the two engines (docs/VM.md states the equivalence contract
+between them):
+
+* ``bytecode`` (default) — :class:`repro.vm.bytecode.BytecodeInterpreter`,
+  the compiled fast path.
+* ``tree`` — :class:`repro.vm.interpreter.Interpreter`, the reference
+  tree walker.
+
+Resolution order: an explicit ``engine=`` argument beats a
+:func:`use_engine` context override beats the ``DEEPMC_ENGINE``
+environment variable beats the default. The environment variable is the
+cross-process channel: worker processes spawned by the parallel executor
+inherit it, so ``--jobs N`` runs use the same engine everywhere without
+threading a parameter through every task payload.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from ..ir.module import Module
+from .interpreter import Interpreter
+
+ENGINES = ("tree", "bytecode")
+DEFAULT_ENGINE = "bytecode"
+
+_OVERRIDE: Optional[str] = None
+
+
+def _validated(name: str, source: str) -> str:
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown VM engine {name!r} from {source} "
+            f"(expected one of {', '.join(ENGINES)})"
+        )
+    return name
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve the engine name for a new interpreter."""
+    if engine is not None:
+        return _validated(engine, "engine argument")
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    env = os.environ.get("DEEPMC_ENGINE")
+    if env:
+        return _validated(env, "DEEPMC_ENGINE")
+    return DEFAULT_ENGINE
+
+
+@contextmanager
+def use_engine(engine: Optional[str]) -> Iterator[None]:
+    """Force an engine for all interpreters built inside the block.
+
+    ``None`` is a no-op (callers can pass an optional through)."""
+    global _OVERRIDE
+    if engine is None:
+        yield
+        return
+    previous = _OVERRIDE
+    _OVERRIDE = _validated(engine, "use_engine")
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous
+
+
+def make_interpreter(module: Module, *, engine: Optional[str] = None,
+                     **kwargs: Any) -> Interpreter:
+    """Build an interpreter of the resolved engine for one execution."""
+    name = resolve_engine(engine)
+    if name == "tree":
+        return Interpreter(module, **kwargs)
+    from .bytecode import BytecodeInterpreter
+
+    return BytecodeInterpreter(module, **kwargs)

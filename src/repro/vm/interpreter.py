@@ -165,6 +165,9 @@ class ExecResult:
 class Interpreter:
     """Executes a module. One instance per execution."""
 
+    #: engine name, mirrored by BytecodeInterpreter ("bytecode")
+    engine = "tree"
+
     def __init__(
         self,
         module: Module,

@@ -1,0 +1,259 @@
+"""Compiler unit tests: fusion edges, variant selection, and caching.
+
+The differential wall (test_engine_differential.py) proves the engines
+agree on real workloads; this file pins *why* — the structural rules the
+compiler must follow at the edges where fusion could silently change
+semantics: pairs split by block boundaries or transaction boundaries,
+fused ops writing both result registers, and the program cache being
+invalidated when IR is rewritten in place.
+"""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, REGION_TX, types as ty, \
+    verify_module
+from repro.vm.bytecode import OP_FUSE_ICMP_BR, OP_FUSE_LOAD_BINOP
+from repro.vm.compile import compile_module, invalidate_bytecode_cache
+from repro.vm.engine import make_interpreter
+
+ALL_FUSED_OPS = (OP_FUSE_LOAD_BINOP, OP_FUSE_ICMP_BR)
+
+
+def _opcodes(program, fn="main"):
+    return [t[0] for t in program.fns[fn].code]
+
+
+def _run_both(mod):
+    """Result value from each engine, asserting they agree."""
+    tree = make_interpreter(mod, engine="tree").run("main", [])
+    byte = make_interpreter(mod, engine="bytecode").run("main", [])
+    assert tree.value == byte.value
+    assert tree.steps == byte.steps
+    return byte.value
+
+
+def _module():
+    mod = Module("t", persistency_model="strict")
+    fn = mod.define_function("main", ty.I64, [], source_file="t.c")
+    return mod, IRBuilder(fn)
+
+
+class TestLoadBinopFusion:
+    def test_adjacent_pair_fuses(self):
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(41, p)
+        v = b.load(p)
+        b.ret(b.add(v, 1))
+        verify_module(mod)
+        program = compile_module(mod, fuse=True)
+        assert OP_FUSE_LOAD_BINOP in _opcodes(program)
+        assert program.fused_pairs() == 1
+        assert _run_both(mod) == 42
+
+    def test_fused_pair_writes_both_registers(self):
+        # the loaded intermediate is used again *after* the fused binop:
+        # the superop must have written the load's register too
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(10, p)
+        v = b.load(p)
+        s = b.add(v, 5)          # fuses with the load
+        b.ret(b.binop("mul", s, v))  # reads the intermediate back
+        verify_module(mod)
+        program = compile_module(mod, fuse=True)
+        assert program.fused_pairs() == 1
+        assert _run_both(mod) == 150
+
+    def test_intervening_instruction_splits_window(self):
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        v = b.load(p)
+        b.fence()
+        b.ret(b.add(v, 1))
+        verify_module(mod)
+        program = compile_module(mod, fuse=True)
+        assert program.fused_pairs() == 0
+        assert _run_both(mod) == 2
+
+    def test_tx_boundary_splits_window(self):
+        # txbegin between the load and the binop: transaction boundaries
+        # are ordinary intervening instructions to the fusion window
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(7, p)
+        v = b.load(p)
+        b.txbegin(REGION_TX)
+        r = b.add(v, 1)
+        b.txend(REGION_TX)
+        b.ret(r)
+        verify_module(mod)
+        program = compile_module(mod, fuse=True)
+        assert program.fused_pairs() == 0
+        assert _run_both(mod) == 8
+
+    def test_non_i64_binop_does_not_fuse(self):
+        mod, b = _module()
+        p = b.palloc(ty.I8)
+        b.store(3, p)
+        v = b.load(p)
+        r = b.binop("add", v, b.const(1, bits=8))
+        b.ret(b.cast(r, ty.I64))
+        verify_module(mod)
+        assert compile_module(mod, fuse=True).fused_pairs() == 0
+        assert _run_both(mod) == 4
+
+
+class TestIcmpBrFusion:
+    def _branchy(self, split_blocks):
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(5, p)
+        v = b.load(p)
+        then = b.new_block("then")
+        other = b.new_block("other")
+        c = b.icmp("sgt", v, 3)
+        if split_blocks:
+            # the br lives in its own block: the pair is no longer
+            # adjacent inside one block and must not fuse
+            mid = b.new_block("mid")
+            b.jmp(mid)
+            b.position_at(mid)
+        b.br(c, then, other)
+        b.position_at(then)
+        b.ret(1)
+        b.position_at(other)
+        b.ret(0)
+        verify_module(mod)
+        return mod
+
+    def test_adjacent_pair_fuses(self):
+        program = compile_module(self._branchy(split_blocks=False),
+                                 fuse=True)
+        assert OP_FUSE_ICMP_BR in _opcodes(program)
+        assert _run_both(self._branchy(split_blocks=False)) == 1
+
+    def test_block_boundary_prevents_fusion(self):
+        program = compile_module(self._branchy(split_blocks=True),
+                                 fuse=True)
+        assert OP_FUSE_ICMP_BR not in _opcodes(program)
+        assert _run_both(self._branchy(split_blocks=True)) == 1
+
+    def test_multi_use_condition_still_fuses_and_reads_back(self):
+        # the condition register is read again in the taken block — the
+        # fused op wrote it, so the later use sees the real value
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(9, p)
+        v = b.load(p)
+        then = b.new_block("then")
+        other = b.new_block("other")
+        c = b.icmp("sgt", v, 3)
+        b.br(c, then, other)
+        b.position_at(then)
+        b.ret(b.cast(c, ty.I64))
+        b.position_at(other)
+        b.ret(0)
+        verify_module(mod)
+        program = compile_module(mod, fuse=True)
+        assert OP_FUSE_ICMP_BR in _opcodes(program)
+        assert _run_both(mod) == 1
+
+
+class TestVariantSelection:
+    def _spawny(self):
+        mod = Module("t", persistency_model="strict")
+        worker = mod.define_function(
+            "worker", ty.VOID, [("p", ty.pointer_to(ty.I64))],
+            source_file="t.c")
+        wb = IRBuilder(worker)
+        v = wb.load(worker.arg("p"))
+        wb.store(wb.add(v, 1), worker.arg("p"))
+        wb.ret()
+        fn = mod.define_function("main", ty.I64, [], source_file="t.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(0, p)
+        t1 = b.spawn(worker, [p])
+        b.join(t1)
+        b.ret(b.load(p))
+        verify_module(mod)
+        return mod
+
+    def test_spawn_disables_fusion_wholesale(self):
+        program = compile_module(self._spawny(), fuse=True)
+        assert not program.fused
+        assert program.has_spawn
+        for fn in program.fns.values():
+            assert not any(t[0] in ALL_FUSED_OPS for t in fn.code)
+
+    def test_crash_point_selects_plain_variant(self):
+        from repro.vm.interpreter import CrashPoint
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        v = b.load(p)
+        b.ret(b.add(v, 1))
+        verify_module(mod)
+        fused = make_interpreter(mod, engine="bytecode")
+        assert fused._program.fused
+        plain = make_interpreter(mod, engine="bytecode",
+                                 crash_point=CrashPoint(file="t.c", line=99))
+        assert not plain._program.fused
+
+    def test_trace_instructions_selects_plain_variant(self):
+        # tracing is only live when an event sink is attached — and only
+        # then does it force the plain variant
+        from repro.telemetry import Telemetry
+        from repro.telemetry.sinks import NullSink
+        mod, b = _module()
+        b.ret(7)
+        verify_module(mod)
+        interp = make_interpreter(mod, engine="bytecode",
+                                  telemetry=Telemetry(sinks=[NullSink()]),
+                                  trace_instructions=True)
+        assert not interp._program.fused
+
+
+class TestProgramCache:
+    def _simple(self):
+        mod, b = _module()
+        p = b.palloc(ty.I64)
+        b.store(1, p)
+        v = b.load(p)
+        b.ret(b.add(v, 1))
+        verify_module(mod)
+        return mod
+
+    def test_cache_hit_returns_same_program(self):
+        mod = self._simple()
+        assert compile_module(mod, fuse=True) is compile_module(mod,
+                                                                fuse=True)
+
+    def test_fusion_variants_are_distinct(self):
+        mod = self._simple()
+        fused = compile_module(mod, fuse=True)
+        plain = compile_module(mod, fuse=False)
+        assert fused is not plain
+        assert fused.fused and not plain.fused
+
+    def test_invalidate_drops_cached_program(self):
+        mod = self._simple()
+        before = compile_module(mod, fuse=True)
+        invalidate_bytecode_cache(mod)
+        assert compile_module(mod, fuse=True) is not before
+
+    def test_in_place_rewrite_requires_invalidation(self):
+        # the dynamic checker's contract: mutate IR in place, call
+        # invalidate_bytecode_cache, and the next run sees the new code
+        mod = self._simple()
+        stale = make_interpreter(mod, engine="bytecode").run("main", [])
+        assert stale.value == 2
+        from repro.ir import instructions as ins
+        from repro.ir.values import const_int
+        main = mod.get_function("main")
+        main.blocks[-1].instructions[-1] = ins.Ret(const_int(99, 64))
+        invalidate_bytecode_cache(mod)
+        assert make_interpreter(mod,
+                                engine="bytecode").run("main", []).value == 99

@@ -1,0 +1,45 @@
+"""docs/VM.md is generated — this test keeps it honest.
+
+Same scheme as tests/litmus/test_docs.py for docs/MODELS.md: the
+committed file must equal a fresh rendering, rendering must be
+deterministic, and the generated reference must cover the full opcode
+registry. CI runs the same regeneration and diffs the tree.
+"""
+
+import os
+
+from repro.vm.bytecode import NOPCODES, OPSPECS
+from repro.vm.docgen import render_vm_md
+
+DOCS = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "VM.md")
+
+
+class TestVMDocs:
+    def test_committed_vm_md_matches_regeneration(self):
+        with open(DOCS, encoding="utf-8") as fh:
+            committed = fh.read()
+        assert committed == render_vm_md(), (
+            "docs/VM.md is stale — regenerate it with "
+            "`PYTHONPATH=src python -m repro.vm.docgen`")
+
+    def test_rendering_is_deterministic(self):
+        assert render_vm_md() == render_vm_md()
+
+    def test_structure_covers_registry(self):
+        text = render_vm_md()
+        assert f"{NOPCODES} opcodes:" in text
+        for spec in OPSPECS:
+            # one table row and one per-opcode note each
+            assert f"| {spec.code} | `{spec.name}` |" in text
+            assert f"* **`{spec.name}`** —" in text
+        # the hand-authored contract sections are present
+        for heading in ("## The equivalence contract",
+                        "### Documented divergences",
+                        "## Instruction fusion",
+                        "## Determinism and snapshot-friendliness (DPOR)",
+                        "## Instruction reference"):
+            assert heading in text
+
+    def test_opcode_registry_is_dense(self):
+        assert [spec.code for spec in OPSPECS] == list(range(NOPCODES))
+        assert len({spec.name for spec in OPSPECS}) == NOPCODES

@@ -1,0 +1,192 @@
+"""The engine differential wall: tree vs bytecode, observably identical.
+
+docs/VM.md states the equivalence contract; this file enforces it over
+the real workloads. For every corpus program (both variants) and every
+litmus case, the two engines must produce the same persist-event trace,
+the same NVM stats, the same telemetry counters (``vm.op.*`` per-op
+counts included — fused opcodes count their components), the same
+execution result, and — downstream of all that — the same crash-image
+set. Plus spot checks for the contract's sharper clauses: byte-identical
+error messages, pick-for-pick scheduler parity on threaded programs, and
+dynamic-checker warning parity.
+
+Anything this file catches is a bytecode-engine bug by definition: the
+tree engine is the semantic ground truth.
+"""
+
+import pytest
+
+from repro.corpus import REGISTRY
+from repro.crashsim.enumerate import enumerate_crash_images
+from repro.crashsim.trace import record_trace
+from repro.dynamic import DynamicChecker
+from repro.errors import VMError
+from repro.faults import FaultInjector
+from repro.ir import IRBuilder, Module, types as ty, verify_module
+from repro.litmus import CATALOG, cases
+from repro.litmus.observe import litmus_spec, project_outcomes
+from repro.telemetry import Telemetry
+from repro.vm.engine import ENGINES, make_interpreter, use_engine
+from repro.vm.scheduler import SeededScheduler
+
+CORPUS_CASES = [(p.name, fixed)
+                for p in REGISTRY.programs() for fixed in (False, True)]
+LITMUS_CASES = [(t.name, m) for t, m in cases(CATALOG, None)]
+
+
+def _trace_fingerprint(program, fixed, engine):
+    """Everything the contract says must match, for one corpus run."""
+    module = program.build(fixed=fixed)
+    tel = Telemetry()  # enabled -> record_trace folds vm.* counters in
+    with use_engine(engine):
+        trace = record_trace(module, entry="main", telemetry=tel)
+        enum = enumerate_crash_images(trace, program.model, max_states=512)
+    images = frozenset(tuple(sorted(img.image.items()))
+                       for img in enum.images)
+    return {
+        "events": trace.events,  # TraceEvent carries no wall-clock
+        "result": (trace.result.value, trace.result.steps,
+                   trace.result.output, trace.result.crashed),
+        "stats": trace.result.stats.snapshot(),
+        "counters": tel.metrics.dump()["counters"],
+        "states": enum.states,
+        "crash_points": enum.crash_points,
+        "images": images,
+    }
+
+
+class TestCorpusDifferential:
+    """Both engines over every corpus program, buggy and fixed."""
+
+    @pytest.mark.parametrize("name,fixed", CORPUS_CASES,
+                             ids=[f"{n}-{'fixed' if f else 'buggy'}"
+                                  for n, f in CORPUS_CASES])
+    def test_trace_stats_counters_images_match(self, name, fixed):
+        program = REGISTRY.program(name)
+        tree = _trace_fingerprint(program, fixed, "tree")
+        byte = _trace_fingerprint(program, fixed, "bytecode")
+        for key in tree:
+            assert tree[key] == byte[key], (
+                f"{name} (fixed={fixed}): engines diverge on {key} — "
+                f"see the equivalence contract in docs/VM.md")
+
+
+class TestLitmusDifferential:
+    """Crash-image outcome sets over the full litmus catalog."""
+
+    @pytest.mark.parametrize("test_name,model", LITMUS_CASES,
+                             ids=[f"{t}-{m}" for t, m in LITMUS_CASES])
+    def test_outcome_sets_match(self, test_name, model):
+        results = {}
+        for engine in ENGINES:
+            test = next(t for t in CATALOG if t.name == test_name)
+            spec = litmus_spec(test, model)
+            injector = (FaultInjector(nvm_directive=test.fault)
+                        if test.fault is not None else None)
+            with use_engine(engine):
+                trace = record_trace(spec.to_module(), entry="main",
+                                     fault_injector=injector)
+                enum = enumerate_crash_images(trace, model, max_states=1024)
+            results[engine] = (project_outcomes(enum, trace, test),
+                               enum.states, enum.crash_points,
+                               trace.events)
+        assert results["tree"] == results["bytecode"]
+
+
+class TestDynamicCheckerDifferential:
+    """The instrumented (in-place rewritten) module runs identically —
+    exercising invalidate_bytecode_cache and instrumentation hooks."""
+
+    @pytest.mark.parametrize("name", ["pmdk_btree_map", "mnemosyne_chash",
+                                      "pmfs_journal"])
+    def test_warning_parity(self, name):
+        program = REGISTRY.program(name)
+        reports = {}
+        for engine in ENGINES:
+            report, runs = DynamicChecker(
+                program.build(), program.model).run(seeds=(1, 2, 3),
+                                                    engine=engine)
+            reports[engine] = (
+                {(w.rule_id, w.loc.file, w.loc.line)
+                 for w in report.warnings()},
+                [(r.seed, r.exec_result.value, r.exec_result.steps,
+                  r.exec_result.output, r.exec_result.crashed,
+                  r.exec_result.stats.snapshot()) for r in runs],
+            )
+        assert reports["tree"] == reports["bytecode"]
+
+
+def _failing_module():
+    mod = Module("diverge", persistency_model="strict")
+    fn = mod.define_function("main", ty.I64, [], source_file="t.c")
+    b = IRBuilder(fn)
+    b.ret(b.binop("sdiv", 1, 0))
+    verify_module(mod)
+    return mod
+
+
+class TestErrorParity:
+    """Errors must match byte for byte, not just by type."""
+
+    def test_vmerror_messages_identical(self):
+        messages = {}
+        for engine in ENGINES:
+            with pytest.raises(VMError) as exc_info:
+                make_interpreter(_failing_module(),
+                                 engine=engine).run("main", [])
+            messages[engine] = str(exc_info.value)
+        assert messages["tree"] == messages["bytecode"]
+
+    def test_step_budget_exhaustion_matches(self):
+        mod = Module("spin", persistency_model="strict")
+        fn = mod.define_function("main", ty.VOID, [], source_file="t.c")
+        b = IRBuilder(fn)
+        loop = b.new_block("loop")
+        b.jmp(loop)
+        b.position_at(loop)
+        b.jmp(loop)
+        verify_module(mod)
+        messages = {}
+        for engine in ENGINES:
+            with pytest.raises(VMError) as exc_info:
+                make_interpreter(mod, engine=engine,
+                                 max_steps=1000).run("main", [])
+            messages[engine] = str(exc_info.value)
+        assert messages["tree"] == messages["bytecode"]
+
+
+class TestSchedulerParity:
+    """Seeded interleavings replay pick for pick on either engine."""
+
+    def _threaded_module(self):
+        mod = Module("sched", persistency_model="strict")
+        worker = mod.define_function(
+            "worker", ty.VOID, [("p", ty.pointer_to(ty.I64))],
+            source_file="t.c")
+        wb = IRBuilder(worker)
+        for _ in range(4):
+            v = wb.load(worker.arg("p"))
+            wb.store(wb.add(v, 1), worker.arg("p"))
+        wb.ret()
+        fn = mod.define_function("main", ty.I64, [], source_file="t.c")
+        b = IRBuilder(fn)
+        p = b.palloc(ty.I64)
+        b.store(0, p)
+        t1 = b.spawn(worker, [p])
+        t2 = b.spawn(worker, [p])
+        b.join(t1)
+        b.join(t2)
+        b.ret(b.load(p))
+        verify_module(mod)
+        return mod
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_interleavings_match(self, seed):
+        results = {}
+        for engine in ENGINES:
+            result = make_interpreter(
+                self._threaded_module(), engine=engine,
+                scheduler=SeededScheduler(seed=seed)).run("main", [])
+            results[engine] = (result.value, result.steps,
+                               result.stats.snapshot())
+        assert results["tree"] == results["bytecode"]
