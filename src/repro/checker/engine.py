@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Set
 from ..analysis.callgraph import CallGraph
 from ..analysis.dsa import DSAResult, run_dsa
 from ..analysis.traces import Trace, TraceCollector
+from ..deadline import Deadline
+from ..errors import DeadlineExceeded
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..models import PersistencyModel, get_model
@@ -97,6 +99,7 @@ class StaticChecker:
         collector: Optional[TraceCollector] = None,
         verify: bool = True,
         telemetry: Optional[Telemetry] = None,
+        deadline: Optional[Deadline] = None,
         **collector_opts,
     ):
         self.module = module
@@ -105,6 +108,11 @@ class StaticChecker:
         self._collector_opts = collector_opts
         self._verify = verify
         self.telemetry = telemetry
+        # Cooperative budget: polled at phase boundaries and between
+        # per-root rule sweeps. A static report has no meaningful partial
+        # (a missing rule pass looks like a clean program), so expiry
+        # raises DeadlineExceeded instead of degrading.
+        self._deadline = deadline
         # The checker always times its handful of phases with its own
         # tracer when no telemetry is attached: span count is O(phases),
         # so the cost is noise, and CheckTimings stays populated.
@@ -121,6 +129,10 @@ class StaticChecker:
         result); None before the first run unless one was passed in."""
         return self._collector
 
+    def _check_deadline(self, stage: str) -> None:
+        if self._deadline is not None and self._deadline.expired():
+            raise DeadlineExceeded(f"check.{stage}")
+
     def run(self) -> Report:
         tracer = self._tracer
         timings = CheckTimings()
@@ -128,11 +140,13 @@ class StaticChecker:
 
         with tracer.span("check", module=self.module.name,
                          model=self.model.name) as root_span:
+            self._check_deadline("verify")
             with tracer.span("verify") as sp:
                 if self._verify:
                     verify_module(self.module)
             timings.verify_s = sp.duration_s
 
+            self._check_deadline("dsa")
             if self._collector is None:
                 with tracer.span("dsa") as sp:
                     dsa = run_dsa(
@@ -163,16 +177,19 @@ class StaticChecker:
                     fn.name for fn in self.module.defined_functions()
                     if not annotations.is_annotated(fn.name)
                 ]
+            self._check_deadline("traces")
             with tracer.span("traces", roots=len(roots)) as sp:
-                traces: Dict[str, List[Trace]] = {
-                    root: self._collector.traces_for(root) for root in roots
-                }
+                traces: Dict[str, List[Trace]] = {}
+                for root in roots:
+                    self._check_deadline("traces")
+                    traces[root] = self._collector.traces_for(root)
             timings.traces_s = sp.duration_s
 
             report = Report(self.module.name, self.model.name)
             with tracer.span("rules") as sp:
                 factories = build_rules(self.model)
                 for root, root_traces in traces.items():
+                    self._check_deadline("rules")
                     ctx = CheckContext(self.module, self.model, root)
                     for trace in root_traces:
                         self.traces_checked += 1

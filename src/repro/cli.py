@@ -20,6 +20,10 @@ Subcommands::
     deepmc chaos [--seeds 0..9] [--jobs N] [--deadline S]
                  [--layers nvm,vm,executor,cache] [--format text|json]
     deepmc cache {stats,clear} [--cache-dir DIR]
+    deepmc serve [--socket PATH | --port N] [--jobs N] [--max-inflight N]
+                 [--request-timeout S] [--watch DIR] [--warm PROGRAM]
+    deepmc client METHOD [PARAMS-JSON] [--socket PATH | --port N]
+                 [--timeout S] [--retries N]
     deepmc table {1,2,3,4,5,6,7,8,9} | figure12 | speedup
 """
 
@@ -80,9 +84,41 @@ def _cache_for(args: argparse.Namespace):
     return AnalysisCache(cache_dir) if cache_dir else AnalysisCache()
 
 
+def _check_program(args: argparse.Namespace) -> int:
+    """``deepmc check --program NAME``: check one corpus program and
+    print the *serve-equivalent* check document. The --format json
+    output is byte-identical to the daemon's ``check`` result for the
+    same params — the serve CI job and chaos phase diff the two."""
+    from .checker.report import Report
+    from .serve import methods as serve_methods
+
+    if args.file is not None:
+        print("deepmc: error: pass FILE.nvmir or --program NAME, "
+              "not both", file=sys.stderr)
+        return 2
+    try:
+        params = serve_methods.normalize(
+            "check", {"program": args.program, "model": args.model})
+    except ValueError as exc:
+        print(f"deepmc: error: {exc}", file=sys.stderr)
+        return 2
+    doc = serve_methods.run_check(params)
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(Report.from_dict(doc["report"]).render())
+    return 1 if doc["report"]["warnings"] else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from .parallel import check_with_cache
 
+    if getattr(args, "program", None) is not None:
+        return _check_program(args)
+    if args.file is None:
+        print("deepmc: error: check needs FILE.nvmir or --program NAME",
+              file=sys.stderr)
+        return 2
     tel = _telemetry_for(args)
     cache = _cache_for(args)
     module = _load_module(args.file)
@@ -423,7 +459,12 @@ def parse_seed_spec(spec: str) -> List[int]:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from .faults import DEFAULT_DEADLINE_S, LAYERS, render_chaos, run_chaos
+    from .faults import (
+        ALL_LAYERS,
+        DEFAULT_DEADLINE_S,
+        render_chaos,
+        run_chaos,
+    )
 
     try:
         seeds = parse_seed_spec(args.seeds)
@@ -431,10 +472,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"deepmc: error: {exc}", file=sys.stderr)
         return 2
     layers = tuple(l.strip() for l in args.layers.split(",") if l.strip())
-    unknown = [l for l in layers if l not in LAYERS]
+    unknown = [l for l in layers if l not in ALL_LAYERS]
     if unknown:
         print(f"deepmc: error: unknown layer(s): {', '.join(unknown)} "
-              f"(choose from {', '.join(LAYERS)})", file=sys.stderr)
+              f"(choose from {', '.join(ALL_LAYERS)})", file=sys.stderr)
         return 2
     tel = _telemetry_for(args) or Telemetry()
     report = run_chaos(
@@ -455,7 +496,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     # stderr — stdout stays deterministic per seed set.
     chaos_metrics = {
         k: v for k, v in sorted(tel.metrics.snapshot().items())
-        if k.startswith(("faults.", "executor.", "cache."))
+        if k.startswith(("faults.", "executor.", "cache.", "serve."))
     }
     if chaos_metrics:
         print("chaos metrics: " + "  ".join(
@@ -526,6 +567,85 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cache entr"
               f"{'y' if removed == 1 else 'ies'} from {cache.root}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived analysis daemon until SIGTERM/SIGINT, then
+    drain: every admitted request completes and its response is flushed
+    before the sockets close."""
+    import signal
+    import threading
+
+    from .parallel.executor import ExecutorPolicy
+    from .serve import DeepMCServer, ServeConfig
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        port=args.port,
+        jobs=args.jobs,
+        max_inflight=args.max_inflight,
+        request_timeout_s=args.request_timeout,
+        pool_timeout_s=args.pool_timeout,
+        cache_dir=args.cache_dir,
+        watch_dir=args.watch,
+        warm_programs=tuple(args.warm or ()),
+        executor_policy=ExecutorPolicy.from_env(
+            timeout=args.pool_timeout),
+    )
+    tel = _telemetry_for(args) or Telemetry()
+    server = DeepMCServer(config, telemetry=tel)
+    stop = threading.Event()
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        print(f"deepmc: serve: caught signal {signum}; draining",
+              file=sys.stderr)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    kind, target = server.start()
+    print(f"deepmc: serving on {kind}:{target} "
+          f"(jobs={config.jobs}, max_inflight={config.max_inflight})",
+          file=sys.stderr)
+    while not stop.is_set():
+        stop.wait(0.2)
+    drained = server.shutdown(drain=True, timeout=args.drain_timeout)
+    print("deepmc: serve: "
+          + ("drained cleanly" if drained
+             else "drain timed out with requests in flight"),
+          file=sys.stderr)
+    tel.close()
+    return 0 if drained else 1
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One-shot client for the serve daemon. Prints the response's
+    ``result`` document (byte-identical to the one-shot command's
+    --format json output for heavy methods)."""
+    from .serve import RetryPolicy, connect
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        print(f"deepmc: error: bad --params JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("deepmc: error: --params must be a JSON object",
+              file=sys.stderr)
+        return 2
+    client = connect(socket_path=args.socket, port=args.port,
+                     retry=RetryPolicy(attempts=args.retries))
+    try:
+        if args.wait_ready and not client.wait_ready(
+                timeout_s=args.wait_ready):
+            print("deepmc: error: daemon not ready", file=sys.stderr)
+            return 2
+        result = client.result(args.method, params,
+                               timeout_s=args.timeout)
+    finally:
+        client.close()
+    print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -612,7 +732,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("check", help="statically check an IR module")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", default=None)
+    p.add_argument("--program", default=None, metavar="NAME",
+                   help="check a corpus program instead of a file and "
+                        "print the serve-equivalent check document "
+                        "(--format json is byte-identical to the "
+                        "daemon's result)")
     p.add_argument("--model", choices=["strict", "epoch", "strand"],
                    default=None,
                    help="persistency model flag (default: module header)")
@@ -796,7 +921,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layers", default=",".join(
                        ("nvm", "vm", "executor", "cache")),
                    metavar="L1,L2,...",
-                   help="fault layers to exercise (default: all four)")
+                   help="fault layers to exercise (default: the four "
+                        "pipeline layers; add 'serve' to chaos-test "
+                        "the daemon too)")
     p.add_argument("--framework",
                    choices=["pmdk", "pmfs", "nvm_direct", "mnemosyne"],
                    default=None,
@@ -850,6 +977,75 @@ def build_parser() -> argparse.ArgumentParser:
                         "~/.cache/deepmc)")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resilient long-lived analysis daemon: warm "
+             "artifact store, bounded admission with backpressure, "
+             "per-request deadlines, drain-based graceful shutdown",
+    )
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="bind a unix-domain socket at PATH (exactly one "
+                        "of --socket/--port)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="bind 127.0.0.1:N (0 = kernel-assigned)")
+    p.add_argument("--jobs", "-j", type=int,
+                   default=int(os.environ.get("DEEPMC_JOBS", "1")),
+                   metavar="N",
+                   help="worker processes for heavy requests (default: "
+                        "$DEEPMC_JOBS or 1 = in-process)")
+    p.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="admission bound: max cold requests queued + "
+                        "executing before 'overloaded' (default: 8)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="default per-request deadline budget in seconds "
+                        "(requests may override via params.timeout_s; "
+                        "default: 30)")
+    p.add_argument("--pool-timeout", type=float, default=10.0,
+                   metavar="S",
+                   help="worker-pool progress deadline before a hung "
+                        "worker is presumed wedged (default: 10)")
+    p.add_argument("--drain-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="max seconds to wait for in-flight requests on "
+                        "shutdown (default: 60)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="analysis cache directory for worker-side "
+                        "check requests")
+    p.add_argument("--watch", default=None, metavar="DIR",
+                   help="poll DIR for .nvmir changes and keep the files "
+                        "pre-checked in the warm store")
+    p.add_argument("--warm", action="append", default=[],
+                   metavar="PROGRAM",
+                   help="pre-check this corpus program before going "
+                        "ready (repeatable)")
+    _add_observability_flags(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="invoke one method on a running serve daemon and print "
+             "the result document",
+    )
+    p.add_argument("method", metavar="METHOD",
+                   help="method name (see 'deepmc client methods')")
+    p.add_argument("params", nargs="?", default=None, metavar="JSON",
+                   help="method params as a JSON object")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="daemon unix socket (exactly one of "
+                        "--socket/--port)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="daemon TCP port on 127.0.0.1")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-request deadline budget (params.timeout_s)")
+    p.add_argument("--retries", type=int, default=4, metavar="N",
+                   help="total attempts for idempotent methods "
+                        "(default: 4)")
+    p.add_argument("--wait-ready", type=float, default=None, metavar="S",
+                   help="poll 'ready' for up to S seconds before the "
+                        "request (daemon startup races in scripts)")
+    p.set_defaults(func=cmd_client)
 
     p = sub.add_parser(
         "learn-suppressions",

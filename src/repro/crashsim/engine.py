@@ -26,6 +26,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..deadline import Deadline
 from ..telemetry import NULL_TELEMETRY, Span, Telemetry
 from ..vm.engine import resolve_engine, use_engine
 from .enumerate import Enumeration, enumerate_crash_images
@@ -62,7 +63,17 @@ def count_failing_images(enumeration: Enumeration, oracle: Oracle,
 
 @dataclass
 class CrashSimReport:
-    """Result of crash-simulating one program."""
+    """Result of crash-simulating one program.
+
+    A report whose deadline budget expired mid-run is a *well-formed
+    partial result*: ``deadline_exceeded`` is set, ``truncated`` is set,
+    ``classified`` says how many of the enumerated images were actually
+    classified (``None`` means all of them), and every populated field —
+    outcomes, failing images, validations — covers exactly that classified
+    prefix. The two degradation keys appear in ``to_dict()`` only when a
+    deadline actually fired, so complete reports keep the schema the
+    golden files pin.
+    """
 
     program: str
     framework: str
@@ -79,6 +90,10 @@ class CrashSimReport:
     #: per annotated bug: {file, line, rule, invariant, warning_reported,
     #: crash_image, validated}
     validations: List[Dict[str, Any]] = field(default_factory=list)
+    #: True when a cooperative deadline cut enumeration/classification
+    deadline_exceeded: bool = False
+    #: images classified before the budget ran out (None = all)
+    classified: Optional[int] = None
 
     @property
     def failing_count(self) -> int:
@@ -89,7 +104,7 @@ class CrashSimReport:
         return sum(1 for v in self.validations if v["validated"])
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "program": self.program,
             "framework": self.framework,
             "model": self.model,
@@ -103,6 +118,10 @@ class CrashSimReport:
             "failing": list(self.failing),
             "validations": list(self.validations),
         }
+        if self.deadline_exceeded:
+            out["deadline_exceeded"] = True
+            out["classified"] = self.classified
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CrashSimReport":
@@ -116,8 +135,16 @@ def simulate_program(
     max_lines: int = DEFAULT_MAX_LINES,
     telemetry: Optional[Telemetry] = None,
     engine: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> CrashSimReport:
-    """Crash-simulate one corpus program by registry name."""
+    """Crash-simulate one corpus program by registry name.
+
+    ``deadline`` (optional) is the cooperative budget threaded through
+    both heavy stages: enumeration polls it at crash-point boundaries,
+    classification between images. On expiry the report is a well-formed
+    partial — everything classified so far, ``truncated`` and
+    ``deadline_exceeded`` set — never a torn result.
+    """
     from ..corpus import REGISTRY
 
     program = REGISTRY.program(name)
@@ -130,13 +157,19 @@ def simulate_program(
         trace = record_trace(module, entry=program.entry or "main",
                              telemetry=tel)
         enum = enumerate_crash_images(trace, model, max_states=max_states,
-                                      max_lines=max_lines)
+                                      max_lines=max_lines, deadline=deadline)
         outcomes = {o: 0 for o in OUTCOMES}
         failing: List[Dict[str, Any]] = []
         #: first failing image per violated invariant description
         first_failure: Dict[str, int] = {}
+        classified = 0
+        classify_cut = False
         for img in enum.images:
+            if deadline is not None and deadline.expired():
+                classify_cut = True
+                break
             verdict = classify_image(img, oracle, trace.interpreter, module)
+            classified += 1
             outcomes[verdict.outcome] += 1
             if verdict.outcome in FAILING_OUTCOMES:
                 entry: Dict[str, Any] = {
@@ -151,12 +184,17 @@ def simulate_program(
                 for desc in verdict.failed:
                     first_failure.setdefault(desc, verdict.image)
         validations = _correlate(program, module, oracle, first_failure)
+        deadline_exceeded = enum.deadline_exceeded or classify_cut
         sp.set("model", model)
         sp.set("states", enum.states)
         sp.set("failing", len(failing))
+        if deadline_exceeded:
+            sp.set("deadline_exceeded", True)
     tel.metrics.counter("crashsim.states").inc(enum.states)
     tel.metrics.counter("crashsim.pruned").inc(enum.pruned)
     tel.metrics.counter("crashsim.failures").inc(len(failing))
+    if deadline_exceeded:
+        tel.metrics.counter("crashsim.deadline_exceeded").inc()
     return CrashSimReport(
         program=name,
         framework=program.framework,
@@ -166,10 +204,12 @@ def simulate_program(
         crash_points=enum.crash_points,
         states=enum.states,
         pruned=enum.pruned,
-        truncated=enum.truncated,
+        truncated=enum.truncated or deadline_exceeded,
         outcomes=outcomes,
         failing=failing,
         validations=validations,
+        deadline_exceeded=deadline_exceeded,
+        classified=classified if deadline_exceeded else None,
     )
 
 
@@ -313,7 +353,9 @@ def render_report(report: CrashSimReport) -> str:
         f"  trace: {report.events} events, {report.crash_points} crash "
         f"points",
         f"  images: {report.states} enumerated, {report.pruned} pruned"
-        + (" (truncated)" if report.truncated else ""),
+        + (" (truncated)" if report.truncated else "")
+        + (f" (deadline cut: {report.classified} classified)"
+           if report.deadline_exceeded else ""),
         "  outcomes: " + "  ".join(
             f"{report.outcomes.get(o, 0)} {o}" for o in OUTCOMES),
     ]

@@ -41,6 +41,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..deadline import Deadline
 from ..ir.instructions import REGION_TX
 from ..nvm.cacheline import LineId, line_span, lines_covering
 from .trace import PersistTrace, TraceEvent
@@ -86,12 +87,20 @@ class CrashImage:
 
 @dataclass
 class Enumeration:
-    """The full result of enumerating one trace."""
+    """The full result of enumerating one trace.
+
+    ``deadline_exceeded`` marks a *cooperative* truncation: a deadline
+    budget ran out mid-enumeration, so ``images`` holds every image
+    enumerated so far (each individually complete and legal) and
+    ``truncated`` is also set. Budget truncation (``max_states``) leaves
+    ``deadline_exceeded`` False.
+    """
 
     images: List[CrashImage]
     crash_points: int
     pruned: int
     truncated: bool
+    deadline_exceeded: bool = False
 
     @property
     def states(self) -> int:
@@ -251,6 +260,7 @@ def enumerate_crash_images(
     max_states: int = 4096,
     max_lines: int = 14,
     prune: bool = True,
+    deadline: Optional[Deadline] = None,
 ) -> Enumeration:
     """Enumerate every distinct crash image legal under ``model``.
 
@@ -264,6 +274,11 @@ def enumerate_crash_images(
     (crash point, candidate subset) pair. The distinct-image set must be
     identical either way (persist-equivalence pruning only drops
     duplicates); the litmus suite asserts exactly that.
+
+    ``deadline`` (optional) is polled at every crash-point boundary: on
+    expiry the images enumerated so far come back with ``truncated`` and
+    ``deadline_exceeded`` both set — a well-formed partial result, never
+    a half-built image.
     """
     replay = ReplayState(trace.alloc_sizes)
     images: List[CrashImage] = []
@@ -272,6 +287,9 @@ def enumerate_crash_images(
     truncated = False
     crash_points = len(trace.events) + 1
     for k in range(crash_points):
+        if deadline is not None and deadline.expired():
+            return Enumeration(images, k, pruned, True,
+                               deadline_exceeded=True)
         if k > 0:
             replay.apply(trace.events[k - 1])
         candidates = replay.candidates(model)

@@ -6,6 +6,8 @@ catch library failures without masking genuine programming errors.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -56,3 +58,34 @@ class CrashInjected(VMError):
 
 class CorpusError(ReproError):
     """Raised when a corpus program is internally inconsistent."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative deadline budget ran out before the stage finished.
+
+    Raised by stages that have no meaningful partial result (the static
+    checker's phases); stages that *can* degrade — crash-image
+    enumeration, image classification — instead return a result
+    explicitly marked truncated. ``stage`` names the checkpoint that
+    noticed expiry, so a ``deadline_exceeded`` serve response can say
+    where the budget went.
+    """
+
+    def __init__(self, stage: str, message: str = ""):
+        self.stage = stage
+        super().__init__(message or f"deadline exceeded during {stage}")
+
+
+class ServeError(ReproError):
+    """Raised by the serve client on a structured error response or an
+    unrecoverable transport failure. ``code`` is one of the protocol's
+    error codes (:mod:`repro.serve.protocol`); ``retry_after_ms`` is the
+    server's backpressure hint when the code is retryable."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after_ms: Optional[int] = None,
+                 retryable: bool = False):
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+        self.retryable = retryable
+        super().__init__(f"{code}: {message}")

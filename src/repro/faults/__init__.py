@@ -30,9 +30,17 @@ from .injector import (
     apply_executor_fault,
     corrupt_cache_entries,
 )
-from .plan import CACHE_KINDS, EXECUTOR_KINDS, LAYERS, FaultPlan, site_hash
+from .plan import (
+    ALL_LAYERS,
+    CACHE_KINDS,
+    EXECUTOR_KINDS,
+    LAYERS,
+    FaultPlan,
+    site_hash,
+)
 
 __all__ = [
+    "ALL_LAYERS",
     "CACHE_KINDS",
     "CRASH_EXIT_CODE",
     "ChaosReport",

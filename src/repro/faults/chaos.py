@@ -394,6 +394,32 @@ def _vm_phase(
     }
 
 
+# -- invariant (d): faulted serve sessions match one-shot CLI runs ----------
+
+def _serve_phase(
+    plan: FaultPlan,
+    jobs: int,
+    deadline_s: float,
+    workdir: Path,
+    telemetry: Telemetry,
+    result: SeedResult,
+) -> None:
+    """Run a faulted multi-client daemon session; every verdict must be
+    byte-identical to the one-shot baseline (repro.serve.chaos)."""
+    from ..serve.chaos import run_serve_phase
+
+    summary = run_serve_phase(
+        plan,
+        jobs=max(jobs, 2),
+        deadline_s=deadline_s,
+        telemetry=telemetry,
+        workdir=str(workdir / f"serve-seed{plan.seed}"),
+    )
+    violations = summary.pop("violations")
+    result.phases["serve"] = summary
+    result.violations.extend(violations)
+
+
 # -- campaign driver --------------------------------------------------------
 
 def run_chaos(
@@ -447,6 +473,7 @@ def run_chaos(
     run_corpus = bool({"executor", "cache"} & set(layers)) and corpus_names
     run_nvm = "nvm" in layers and oracle_names
     run_vm = "vm" in layers and oracle_names
+    run_serve = "serve" in layers
 
     owned_workdir = workdir is None
     root = Path(workdir) if workdir else Path(tempfile.mkdtemp(
@@ -479,6 +506,10 @@ def run_chaos(
                     with tel.span("chaos.vm", seed=seed):
                         _vm_phase(plan, oracle_names, max_states,
                                   max_lines, tel, result)
+                if run_serve:
+                    with tel.span("chaos.serve", seed=seed):
+                        _serve_phase(plan, jobs, deadline_s, root, tel,
+                                     result)
             report.results.append(result)
     finally:
         if owned_workdir:
@@ -512,6 +543,13 @@ def render_chaos(report: ChaosReport) -> str:
         if vp:
             parts.append(f"vm {vp['failing']} failing "
                          f"across {vp['programs']} truncated run(s)")
+        sp = r.phases.get("serve")
+        if sp:
+            parts.append(
+                f"serve {sp['compared']}/{sp['requests']} verdicts "
+                f"matched ({sp['clients']} clients, {sp['refused']} "
+                f"refused, {sp['cache_corrupted']} cache entr(y/ies) "
+                "corrupted)")
         status = "ok" if r.ok else "VIOLATION"
         lines.append(f"seed {r.seed}: {status} — " + "; ".join(parts))
         for v in r.violations:

@@ -24,6 +24,12 @@ T = TypeVar("T")
 #: every injectable layer, in pipeline order
 LAYERS = ("nvm", "vm", "executor", "cache")
 
+#: layers selectable via ``deepmc chaos --layers``: the four pipeline
+#: layers plus the opt-in ``serve`` phase (not in the default sweep —
+#: it needs a daemon, a socket, and client threads, so it rides behind
+#: an explicit flag; the serve CI job turns it on)
+ALL_LAYERS = LAYERS + ("serve",)
+
 #: executor fault kinds, in the order the rate bands are stacked
 EXECUTOR_KINDS = ("crash", "hang", "slow")
 

@@ -22,13 +22,14 @@ from .cache import (
     check_with_cache,
     default_cache_dir,
 )
-from .executor import check_programs, run_tasks
+from .executor import ExecutorPolicy, check_programs, run_tasks
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "AnalysisCache",
     "CacheStats",
     "CachedCheck",
+    "ExecutorPolicy",
     "cache_key",
     "check_programs",
     "check_with_cache",

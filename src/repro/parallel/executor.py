@@ -26,11 +26,13 @@ byte-identical to serial ones — with or without injected faults
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..telemetry import Telemetry
 from .cache import AnalysisCache, check_with_cache
@@ -39,6 +41,114 @@ from .cache import AnalysisCache, check_with_cache
 DEFAULT_MAX_RETRIES = 2
 #: default base of the exponential pool-rebuild backoff (seconds)
 DEFAULT_BACKOFF_S = 0.05
+#: default ceiling of the exponential pool-rebuild backoff (seconds)
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """Typed retry/backoff/deadline configuration for :func:`run_tasks`.
+
+    Historically these knobs were buried constants; the policy object
+    makes them explicit, overridable per call site, and tunable from the
+    environment without touching code. Resolution order (strongest last):
+    dataclass defaults → keyword overrides passed to :meth:`from_env` →
+    ``DEEPMC_EXECUTOR_*`` environment variables. The env always wins so
+    an operator can re-tune a wedged deployment (say, shorten the hang
+    deadline of a ``deepmc serve`` daemon) without a redeploy.
+
+    * ``max_retries`` — re-submissions a task gets after its first
+      attempt before falling back (``DEEPMC_EXECUTOR_MAX_RETRIES``);
+    * ``backoff_s`` — base of the exponential pool-rebuild backoff
+      (``DEEPMC_EXECUTOR_BACKOFF_S``);
+    * ``backoff_cap_s`` — ceiling the exponential backoff saturates at
+      (``DEEPMC_EXECUTOR_BACKOFF_CAP_S``);
+    * ``timeout`` — progress deadline in seconds; ``None`` disables
+      (``DEEPMC_EXECUTOR_TIMEOUT_S``; empty string or ``none`` → None);
+    * ``in_process_fallback`` — whether a task out of retries runs once
+      more in the parent (``DEEPMC_EXECUTOR_FALLBACK``: 0/1/true/false).
+    """
+
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_s: float = DEFAULT_BACKOFF_S
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S
+    timeout: Optional[float] = None
+    in_process_fallback: bool = True
+
+    #: env var name per field (single source of truth for parsing/tests)
+    ENV_VARS = {
+        "max_retries": "DEEPMC_EXECUTOR_MAX_RETRIES",
+        "backoff_s": "DEEPMC_EXECUTOR_BACKOFF_S",
+        "backoff_cap_s": "DEEPMC_EXECUTOR_BACKOFF_CAP_S",
+        "timeout": "DEEPMC_EXECUTOR_TIMEOUT_S",
+        "in_process_fallback": "DEEPMC_EXECUTOR_FALLBACK",
+    }
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, "
+                             f"got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_cap_s < 0:
+            raise ValueError(f"backoff_cap_s must be >= 0, "
+                             f"got {self.backoff_cap_s}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, "
+                             f"got {self.timeout}")
+
+    def backoff_for(self, rebuilds: int) -> float:
+        """Seconds to sleep before the ``rebuilds``-th pool rebuild
+        (1-based): exponential from ``backoff_s``, saturating at
+        ``backoff_cap_s``."""
+        if self.backoff_s <= 0 or rebuilds <= 0:
+            return 0.0
+        return min(self.backoff_s * (2 ** (rebuilds - 1)),
+                   self.backoff_cap_s)
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None,
+                 **overrides: Any) -> "ExecutorPolicy":
+        """Build a policy from keyword overrides plus ``DEEPMC_EXECUTOR_*``
+        variables (env wins). Malformed values raise ``ValueError`` naming
+        the offending variable — a typo'd deployment knob must fail loud,
+        not silently fall back to defaults."""
+        environ = os.environ if env is None else env
+        known = {f.name for f in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExecutorPolicy field(s): {', '.join(sorted(unknown))}")
+        values = dict(overrides)
+        for field_name, var in cls.ENV_VARS.items():
+            raw = environ.get(var)
+            if raw is None:
+                continue
+            try:
+                values[field_name] = _parse_env_value(field_name, raw)
+            except ValueError as exc:
+                raise ValueError(f"{var}={raw!r}: {exc}") from None
+        return cls(**values)
+
+
+def _parse_env_value(field_name: str, raw: str) -> Any:
+    raw = raw.strip()
+    if field_name == "max_retries":
+        return int(raw)
+    if field_name in ("backoff_s", "backoff_cap_s"):
+        return float(raw)
+    if field_name == "timeout":
+        if raw == "" or raw.lower() in ("none", "off"):
+            return None
+        return float(raw)
+    if field_name == "in_process_fallback":
+        lowered = raw.lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError("expected a boolean (0/1/true/false)")
+    raise ValueError(f"unhandled field {field_name!r}")
 
 
 def _check_program_task(task: Dict[str, Any]) -> Dict[str, Any]:
@@ -140,6 +250,7 @@ def run_tasks(
     backoff_s: float = DEFAULT_BACKOFF_S,
     telemetry: Optional[Telemetry] = None,
     in_process_fallback: bool = True,
+    policy: Optional[ExecutorPolicy] = None,
 ) -> List[Dict[str, Any]]:
     """Run ``task_fn`` over ``tasks`` on a process pool of ``jobs`` workers.
 
@@ -171,7 +282,38 @@ def run_tasks(
     early attempts; ``_in_process`` marks the parent-process fallback.
     Telemetry (optional) gets ``executor.retries`` / ``executor.timeouts``
     / ``executor.pool_rebuilds`` / ``executor.fallbacks`` counters.
+
+    The retry/backoff/deadline knobs can come in three ways, strongest
+    last: the legacy keyword arguments above, an explicit
+    :class:`ExecutorPolicy` (``policy=``), and ``DEEPMC_EXECUTOR_*``
+    environment overrides (applied on top of either).
     """
+    if policy is None:
+        policy = ExecutorPolicy.from_env(
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            timeout=timeout,
+            in_process_fallback=in_process_fallback,
+        )
+    else:
+        legacy = {"timeout": timeout, "max_retries": max_retries,
+                  "backoff_s": backoff_s,
+                  "in_process_fallback": in_process_fallback}
+        defaults = {"timeout": None,
+                    "max_retries": DEFAULT_MAX_RETRIES,
+                    "backoff_s": DEFAULT_BACKOFF_S,
+                    "in_process_fallback": True}
+        conflicting = [k for k, v in legacy.items() if v != defaults[k]]
+        if conflicting:
+            raise ValueError(
+                "run_tasks got both policy= and legacy keyword(s) "
+                f"{', '.join(sorted(conflicting))}; put the knobs on "
+                "the policy")
+        policy = ExecutorPolicy.from_env(
+            **{f.name: getattr(policy, f.name) for f in fields(policy)})
+    timeout = policy.timeout
+    max_retries = policy.max_retries
+    in_process_fallback = policy.in_process_fallback
     if jobs <= 1:
         return [task_fn(task) for task in tasks]
 
@@ -243,8 +385,9 @@ def run_tasks(
             rebuilds += 1
             if metrics is not None:
                 metrics.counter("executor.pool_rebuilds").inc()
-            if backoff_s > 0:
-                time.sleep(backoff_s * (2 ** (rebuilds - 1)))
+            sleep_s = policy.backoff_for(rebuilds)
+            if sleep_s > 0:
+                time.sleep(sleep_s)
     # mypy-style guard: every slot is filled once the loop exits
     return [r if r is not None else _error_entry(tasks[i], "task was lost")
             for i, r in enumerate(results)]

@@ -1,0 +1,51 @@
+"""``deepmc serve``: a resilient long-lived analysis daemon.
+
+The serve subsystem turns the one-shot pipeline into a warm service:
+a JSON-RPC-over-socket daemon (:mod:`~repro.serve.daemon`) that routes
+``check``/``crashsim``/``litmus``/``fuzz`` requests through the shared
+process-pool executor against a warm, immutable artifact store
+(:mod:`~repro.serve.artifacts`), with bounded admission + backpressure,
+cooperative per-request deadlines, supervisor-driven worker-pool
+recovery, per-session suppression state (:mod:`~repro.serve.session`),
+and drain-based graceful shutdown. :mod:`~repro.serve.client` is the
+retrying client; :mod:`~repro.serve.chaos` proves the whole stack keeps
+its byte-identical-verdict contract under injected faults.
+
+See docs/SERVE.md for the protocol and the failure-semantics matrix.
+"""
+
+from .artifacts import ArtifactStore, is_complete
+from .client import RetryPolicy, ServeClient, connect
+from .daemon import DeepMCServer, ServeConfig
+from .protocol import (
+    ERROR_CODES,
+    HEAVY_METHODS,
+    HELLO_SCHEMA,
+    IDEMPOTENT_METHODS,
+    LIGHT_METHODS,
+    METHODS,
+    ProtocolError,
+    Request,
+    parse_address,
+)
+from .session import SessionState
+
+__all__ = [
+    "ArtifactStore",
+    "DeepMCServer",
+    "ERROR_CODES",
+    "HEAVY_METHODS",
+    "HELLO_SCHEMA",
+    "IDEMPOTENT_METHODS",
+    "LIGHT_METHODS",
+    "METHODS",
+    "ProtocolError",
+    "Request",
+    "RetryPolicy",
+    "ServeClient",
+    "ServeConfig",
+    "SessionState",
+    "connect",
+    "is_complete",
+    "parse_address",
+]

@@ -1,0 +1,256 @@
+"""The chaos campaign's ``serve`` layer.
+
+Extends the PR-4 fault campaigns to the daemon: one phase starts a real
+:class:`~repro.serve.daemon.DeepMCServer` (unix socket, worker pool,
+pre-corrupted analysis cache, seeded executor-fault plan), drives it
+from several concurrent clients issuing a mixed-method request schedule,
+and injects *socket* faults on the client side — a seeded subset of
+requests is sent on a connection that is then torn down before the
+response is read, forcing reconnect + idempotent retry.
+
+**Invariant (d): a faulted multi-client serve session returns verdicts
+byte-identical to one-shot CLI runs.** Every successful response's
+``result`` document must equal the document the corresponding one-shot
+command produces (same code path as ``--format json``), computed
+serially and fault-free as the baseline. Worker crashes, hangs, cache
+corruption, dropped connections, warm-vs-cold serving, and client
+interleaving may change *latency* and *meta*, never a byte of
+``result``.
+
+Requests that can fail legitimately under chaos (``overloaded`` after
+retries run out) are tolerated only with the codes the protocol
+promises; a wrong or missing verdict, a torn response, or a daemon death
+is a violation.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ServeError
+from ..faults.injector import corrupt_cache_entries
+from ..faults.plan import FaultPlan
+from ..telemetry import Telemetry
+from .client import RetryPolicy, ServeClient
+from .daemon import DeepMCServer, ServeConfig
+from . import methods as serve_methods
+
+#: corpus programs used by the serve phase's check requests — a small
+#: cross-framework slice so the phase stays CI-friendly
+DEFAULT_SERVE_PROGRAMS = (
+    "pmdk_hashmap",
+    "pmdk_btree_map",
+    "pmfs_journal",
+    "mnemosyne_phlog",
+    "nvmdirect_locks",
+)
+
+#: probability a given (client, request) draws a client-side socket fault
+SOCKET_FAULT_RATE = 0.25
+
+
+def build_schedule(plan: FaultPlan,
+                   programs: Sequence[str],
+                   clients: int,
+                   requests_per_client: int) -> List[List[Tuple[str, Dict]]]:
+    """The per-client request schedules: deterministic mixed-method
+    traffic derived from the plan's seed. Every client's list mixes
+    ``check`` (the bulk), one ``crashsim``, and one ``litmus``."""
+    mixed: List[Tuple[str, Dict[str, Any]]] = [
+        ("check", {"program": name}) for name in programs
+    ]
+    mixed.append(("crashsim",
+                  {"programs": [programs[0]], "max_states": 256}))
+    mixed.append(("litmus", {"tests": ["store-flush-fence"],
+                             "max_states": 256}))
+    schedules = []
+    for c in range(clients):
+        ordered = plan.order(mixed, "serve.schedule", c)
+        schedules.append(list(ordered[:requests_per_client]))
+    return schedules
+
+
+def baseline_docs(schedules: Sequence[Sequence[Tuple[str, Dict]]]
+                  ) -> Dict[str, Dict[str, Any]]:
+    """One-shot reference results, keyed like the artifact store: the
+    same ``run_method`` code path the CLI's ``--format json`` uses,
+    executed serially with no daemon, no pool, no faults."""
+    docs: Dict[str, Dict[str, Any]] = {}
+    for schedule in schedules:
+        for method, params in schedule:
+            normalized = serve_methods.normalize(method, dict(params))
+            key = serve_methods.method_key(method, normalized)
+            if key not in docs:
+                docs[key] = serve_methods.run_method(method, normalized)
+    return docs
+
+
+class _FaultyClient:
+    """A client wrapper that injects seeded socket faults: before a
+    scheduled request it opens a throwaway connection, sends the request,
+    and slams the connection shut without reading the response — then
+    issues the real (retried, idempotent) request on its main client."""
+
+    def __init__(self, address, plan: FaultPlan, client_index: int):
+        self.plan = plan
+        self.client_index = client_index
+        self.client = ServeClient(
+            address,
+            retry=RetryPolicy(attempts=6, base_backoff_s=0.02,
+                              seed=plan.seed * 1000 + client_index))
+
+    def call(self, index: int, method: str,
+             params: Dict[str, Any]) -> Dict[str, Any]:
+        if self.plan.decide(SOCKET_FAULT_RATE, "serve.socket",
+                            self.client_index, index):
+            self._drop_mid_request(method, params)
+        return self.client.call(method, params)
+
+    def _drop_mid_request(self, method: str,
+                          params: Dict[str, Any]) -> None:
+        from .protocol import encode
+
+        try:
+            victim = ServeClient(self.client.address)
+            victim._connect()
+            victim._sock.sendall(encode(
+                {"id": 1, "method": method, "params": params}))
+            # abandon without reading: the daemon's response hits a dead
+            # socket (serve.orphaned_responses) and must not wedge it
+            victim.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self.client.close()
+
+
+def run_serve_phase(
+    plan: FaultPlan,
+    programs: Sequence[str] = DEFAULT_SERVE_PROGRAMS,
+    clients: int = 4,
+    requests_per_client: int = 6,
+    jobs: int = 2,
+    deadline_s: float = 10.0,
+    telemetry: Optional[Telemetry] = None,
+    workdir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one seed's serve phase; returns the phase summary dict with a
+    ``violations`` list (empty = invariant held)."""
+    tel = telemetry if telemetry is not None else Telemetry(enabled=False)
+    schedules = build_schedule(plan, programs, clients, requests_per_client)
+    baseline = baseline_docs(schedules)
+
+    owned = workdir is None
+    root = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="deepmc-serve-chaos-"))
+    violations: List[Dict[str, Any]] = []
+    refused = 0
+    compared = 0
+    corrupted = 0
+    try:
+        from ..parallel.cache import AnalysisCache
+
+        cache_dir = root / "cache"
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        # warm the cache once so there are entries to corrupt, then
+        # damage a seeded subset — workers must survive every kind
+        for method, params in (s for sched in schedules for s in sched):
+            if method == "check" and "program" in params:
+                normalized = serve_methods.normalize("check", dict(params))
+                serve_methods.run_check(normalized,
+                                        cache_dir=str(cache_dir))
+        corrupted = corrupt_cache_entries(AnalysisCache(cache_dir), plan,
+                                          telemetry=tel)
+
+        config = ServeConfig(
+            socket_path=str(root / "serve.sock"),
+            jobs=jobs,
+            max_inflight=max(clients * 2, 8),
+            request_timeout_s=60.0,
+            pool_timeout_s=deadline_s,
+            cache_dir=str(cache_dir),
+            fault_plan=plan,
+        )
+        server = DeepMCServer(config, telemetry=tel)
+        address = server.start()
+
+        results: List[List[Optional[Dict[str, Any]]]] = [
+            [None] * len(s) for s in schedules]
+        errors: List[Dict[str, Any]] = []
+
+        def drive(ci: int) -> None:
+            fc = _FaultyClient(address, plan, ci)
+            try:
+                for i, (method, params) in enumerate(schedules[ci]):
+                    try:
+                        results[ci][i] = fc.call(i, method, dict(params))
+                    except ServeError as exc:
+                        errors.append({"client": ci, "index": i,
+                                       "code": exc.code,
+                                       "message": str(exc)})
+            finally:
+                fc.close()
+
+        threads = [threading.Thread(target=drive, args=(ci,), daemon=True)
+                   for ci in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            violations.append({
+                "phase": "serve",
+                "detail": f"{len(alive)} client(s) wedged after 120s",
+            })
+        drained = server.shutdown(drain=True, timeout=60.0)
+        if not drained:
+            violations.append({"phase": "serve",
+                               "detail": "daemon failed to drain"})
+
+        for ci, schedule in enumerate(schedules):
+            for i, (method, params) in enumerate(schedule):
+                doc = results[ci][i]
+                if doc is None:
+                    continue  # recorded in errors; judged below
+                normalized = serve_methods.normalize(method, dict(params))
+                key = serve_methods.method_key(method, normalized)
+                got = json.dumps(doc["result"], sort_keys=True)
+                want = json.dumps(baseline[key], sort_keys=True)
+                compared += 1
+                if got != want:
+                    violations.append({
+                        "phase": "serve", "program": str(params),
+                        "detail": f"client {ci} request {i} ({method}) "
+                                  "diverged from the one-shot baseline",
+                    })
+        for err in errors:
+            # Only transient admission refusals are legitimate; anything
+            # else is a wrong/missing verdict.
+            if err["code"] in ("overloaded", "shutting_down"):
+                refused += 1
+            else:
+                violations.append({
+                    "phase": "serve",
+                    "detail": f"client {err['client']} request "
+                              f"{err['index']} failed terminally: "
+                              f"{err['code']}: {err['message']}",
+                })
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "clients": clients,
+        "requests": sum(len(s) for s in schedules),
+        "compared": compared,
+        "refused": refused,
+        "cache_corrupted": corrupted,
+        "violations": violations,
+    }

@@ -1,0 +1,221 @@
+"""Client for the ``deepmc serve`` daemon.
+
+:class:`ServeClient` is both the Python API and the engine behind
+``deepmc client``. It speaks the newline-JSON protocol, correlates
+responses by id, and implements the client half of the resilience
+contract:
+
+* **retry with jittered exponential backoff** — but only for requests
+  that are safe to resubmit: the method must be idempotent
+  (:data:`~repro.serve.protocol.IDEMPOTENT_METHODS`) *and* the failure
+  transient (a retryable error response, or a transport failure). A
+  non-idempotent method (``suppress``) is never retried after an
+  ambiguous transport failure: the first send may have landed.
+* **backpressure cooperation** — an ``overloaded`` response carries the
+  server's ``retry_after_ms`` hint; the client waits at least that long
+  (max of hint and its own backoff), so a thundering herd spreads out
+  instead of re-stampeding the admission queue.
+* **deterministic jitter** — the backoff jitter comes from a seeded
+  generator, so tests and chaos campaigns replay byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ServeError
+from .protocol import (
+    IDEMPOTENT_METHODS,
+    ProtocolError,
+    decode_response,
+    encode,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client retry knobs. ``attempts`` counts total tries (1 = never
+    retry); jitter multiplies the backoff by a uniform draw in
+    [1-jitter, 1+jitter]."""
+
+    attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, rng: random.Random,
+                  retry_after_ms: Optional[int] = None) -> float:
+        """Sleep before the (1-based) ``attempt``-th retry."""
+        backoff = min(self.base_backoff_s * (2 ** (attempt - 1)),
+                      self.backoff_cap_s)
+        backoff *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if retry_after_ms is not None:
+            backoff = max(backoff, retry_after_ms / 1000.0)
+        return max(backoff, 0.0)
+
+
+class ServeClient:
+    """One logical client; reconnects transparently across retries."""
+
+    def __init__(self, address: Tuple[str, Any],
+                 retry: Optional[RetryPolicy] = None,
+                 connect_timeout_s: float = 5.0):
+        self.address = address
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.connect_timeout_s = connect_timeout_s
+        self._rng = random.Random(self.retry.seed)
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._next_id = 0
+
+    # -- transport ----------------------------------------------------------
+    def _connect(self) -> None:
+        kind, target = self.address
+        if kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        elif kind == "tcp":
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        else:
+            raise ServeError("bad_request", f"unknown address kind {kind!r}")
+        sock.settimeout(self.connect_timeout_s)
+        sock.connect(target)
+        sock.settimeout(None)
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8",
+                                     errors="replace")
+        # the hello banner is not a response frame; parse it raw
+        import json
+
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed during handshake")
+        try:
+            hello = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"bad hello frame: {exc}") from None
+        if not isinstance(hello, dict) or "schema" not in hello:
+            raise ProtocolError("server did not send a hello frame")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._reader = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read_doc(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_response(line)
+
+    def _send_and_wait(self, rid: int, method: str,
+                       params: Dict[str, Any],
+                       timeout_s: Optional[float]) -> Dict[str, Any]:
+        if self._sock is None:
+            self._connect()
+        request: Dict[str, Any] = {"id": rid, "method": method,
+                                   "params": params}
+        self._sock.sendall(encode(request))
+        if timeout_s is not None:
+            self._sock.settimeout(timeout_s + 5.0)
+        try:
+            while True:
+                doc = self._read_doc()
+                if doc.get("id") == rid:
+                    return doc
+                # a stale response from an abandoned attempt: skip it
+        finally:
+            if timeout_s is not None:
+                self._sock.settimeout(None)
+
+    # -- API ----------------------------------------------------------------
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None,
+             timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Invoke one method; returns the full response document
+        (``result`` under ``"result"``, provenance under ``"meta"``).
+        Raises :class:`~repro.errors.ServeError` when the final attempt
+        fails."""
+        params = dict(params or {})
+        if timeout_s is not None:
+            params["timeout_s"] = timeout_s
+        retryable_method = method in IDEMPOTENT_METHODS
+        last_error: Optional[ServeError] = None
+        attempts = max(self.retry.attempts, 1)
+        for attempt in range(1, attempts + 1):
+            self._next_id += 1
+            rid = self._next_id
+            retry_after_ms = None
+            try:
+                doc = self._send_and_wait(rid, method, params, timeout_s)
+                if doc.get("ok"):
+                    return doc
+                err = doc["error"]
+                last_error = ServeError(
+                    err["code"], err.get("message", ""),
+                    retry_after_ms=err.get("retry_after_ms"),
+                    retryable=bool(err.get("retryable")))
+                if not (last_error.retryable and retryable_method):
+                    raise last_error
+                retry_after_ms = last_error.retry_after_ms
+            except (OSError, ProtocolError) as exc:
+                # Transport failure: the connection is unusable; retrying
+                # reconnects. Safe only for idempotent methods — the
+                # request may already have executed.
+                self.close()
+                last_error = ServeError(
+                    "internal", f"transport failure: {exc}",
+                    retryable=True)
+                if not retryable_method:
+                    raise last_error from None
+            if attempt < attempts:
+                time.sleep(self.retry.backoff_s(attempt, self._rng,
+                                                retry_after_ms))
+        assert last_error is not None
+        raise last_error
+
+    def result(self, method: str,
+               params: Optional[Dict[str, Any]] = None,
+               timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Like :meth:`call`, but returns just the ``result`` document."""
+        return self.call(method, params, timeout_s)["result"]
+
+    # -- convenience --------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.result("ping").get("pong"))
+
+    def wait_ready(self, timeout_s: float = 10.0,
+                   poll_s: float = 0.05) -> bool:
+        """Poll ``ready`` until true or the timeout elapses (daemon
+        startup races in scripts and tests)."""
+        end = time.monotonic() + timeout_s
+        while time.monotonic() < end:
+            try:
+                if self.result("ready").get("ready"):
+                    return True
+            except (ServeError, OSError):
+                self.close()
+            time.sleep(poll_s)
+        return False
+
+
+def connect(socket_path: Optional[str] = None,
+            port: Optional[int] = None,
+            retry: Optional[RetryPolicy] = None) -> ServeClient:
+    """Build a client from the CLI-style ``--socket``/``--port`` pair."""
+    from .protocol import parse_address
+
+    return ServeClient(parse_address(socket_path, port), retry=retry)

@@ -1,0 +1,177 @@
+"""Wire protocol of the ``deepmc serve`` daemon.
+
+Newline-delimited JSON over a stream socket (UNIX-domain or localhost
+TCP): each request is one JSON object on one line, each response is one
+JSON object on one line. Responses carry the request's ``id`` and may
+arrive out of submission order (heavy methods are dispatched to a worker
+pool while light methods are answered inline), so clients correlate by
+``id``, never by position.
+
+Request::
+
+    {"id": 7, "method": "check", "params": {"program": "pmdk_hashmap"}}
+
+Success response::
+
+    {"id": 7, "ok": true, "result": {...}, "meta": {...}}
+
+``result`` carries **only deterministic content** — the same document the
+one-shot CLI prints with ``--format json`` — which is what makes serve
+responses byte-comparable against CLI output (the chaos serve phase and
+the CI serve job assert exactly that). Everything nondeterministic about
+*how* the answer was produced (warm/cold, queue time, attempt counts)
+lives in ``meta``, which comparisons ignore.
+
+Error response::
+
+    {"id": 7, "ok": false,
+     "error": {"code": "overloaded", "message": "...",
+               "retryable": true, "retry_after_ms": 120}}
+
+Error codes are a closed set (:data:`ERROR_CODES`); ``retryable`` tells a
+client whether resubmitting the identical request can succeed —
+``overloaded`` and ``shutting_down`` are transient admission verdicts,
+``deadline_exceeded`` / ``bad_request`` / ``method_not_found`` /
+``internal`` are not (a request that blew its budget once will blow it
+again). ``retry_after_ms`` is the server's backpressure hint; clients
+should wait at least that long (the bundled client takes the max of the
+hint and its own jittered backoff).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: protocol identifier, first line every server sends on a new connection
+HELLO_SCHEMA = "deepmc.serve/v1"
+
+#: heavy methods: routed through the admission queue + worker pool
+HEAVY_METHODS = ("check", "crashsim", "litmus", "fuzz")
+
+#: light methods: answered inline on the connection thread
+LIGHT_METHODS = ("ping", "health", "ready", "stats", "methods", "suppress")
+
+METHODS = HEAVY_METHODS + LIGHT_METHODS
+
+#: methods a client may safely resubmit after a transient failure.
+#: Everything here is a pure function of (params, warm artifacts);
+#: ``suppress`` mutates per-session state, so the client never retries it
+#: on an ambiguous transport failure (the first send may have landed).
+IDEMPOTENT_METHODS = HEAVY_METHODS + ("ping", "health", "ready", "stats",
+                                      "methods")
+
+#: closed set of error codes with their retryability
+ERROR_CODES = {
+    "bad_request": False,
+    "method_not_found": False,
+    "overloaded": True,
+    "deadline_exceeded": False,
+    "shutting_down": True,
+    "internal": False,
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or request (maps to ``bad_request``)."""
+
+
+class Request:
+    """One parsed, validated request frame."""
+
+    __slots__ = ("id", "method", "params")
+
+    def __init__(self, id: Any, method: str, params: Dict[str, Any]):
+        self.id = id
+        self.method = method
+        self.params = params
+
+    @classmethod
+    def parse(cls, line: str) -> "Request":
+        """Parse one request line; raises :class:`ProtocolError` with a
+        message safe to echo back in a ``bad_request`` response."""
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ProtocolError("request must be a JSON object")
+        if "id" not in doc:
+            raise ProtocolError("request is missing 'id'")
+        rid = doc["id"]
+        if isinstance(rid, (dict, list)):
+            raise ProtocolError("'id' must be a scalar")
+        method = doc.get("method")
+        if not isinstance(method, str) or not method:
+            raise ProtocolError("request is missing 'method'")
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be an object")
+        unknown = set(doc) - {"id", "method", "params"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown request key(s): {', '.join(sorted(unknown))}")
+        return cls(rid, method, params)
+
+
+# -- response builders ------------------------------------------------------
+
+def success(rid: Any, result: Dict[str, Any],
+            meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {"id": rid, "ok": True, "result": result}
+    if meta:
+        doc["meta"] = meta
+    return doc
+
+
+def failure(rid: Any, code: str, message: str,
+            retry_after_ms: Optional[int] = None,
+            stage: Optional[str] = None) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: Dict[str, Any] = {
+        "code": code,
+        "message": message,
+        "retryable": ERROR_CODES[code],
+    }
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = int(retry_after_ms)
+    if stage is not None:
+        error["stage"] = stage
+    return {"id": rid, "ok": False, "error": error}
+
+
+def encode(doc: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return (json.dumps(doc, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def decode_response(line: str) -> Dict[str, Any]:
+    """Client-side frame validation (the mirror of :meth:`Request.parse`)."""
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid response JSON: {exc}") from None
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ProtocolError("response must be an object with 'ok'")
+    if doc["ok"]:
+        if not isinstance(doc.get("result"), dict):
+            raise ProtocolError("success response is missing 'result'")
+    else:
+        err = doc.get("error")
+        if not isinstance(err, dict) or "code" not in err:
+            raise ProtocolError("error response is missing 'error.code'")
+    return doc
+
+
+def parse_address(socket_path: Optional[str],
+                  port: Optional[int]) -> Tuple[str, Any]:
+    """Normalize the CLI's ``--socket``/``--port`` pair to an address
+    tuple: ``("unix", path)`` or ``("tcp", ("127.0.0.1", port))``.
+    Exactly one must be given."""
+    if (socket_path is None) == (port is None):
+        raise ProtocolError("exactly one of --socket/--port is required")
+    if socket_path is not None:
+        return ("unix", socket_path)
+    return ("tcp", ("127.0.0.1", int(port)))

@@ -1,0 +1,84 @@
+"""Per-connection session state.
+
+Each client connection owns a :class:`SessionState`: the *mutable*,
+*private* counterpart to the shared immutable
+:class:`~repro.serve.artifacts.ArtifactStore`. Today that state is one
+thing — a warning-suppression set built up by ``suppress`` calls — but
+the split is the load-bearing design point: a session can never observe
+another session's mutations, and no mutation ever reaches the store (the
+suppression filter runs on the deep copy ``get`` hands out).
+
+Suppressions are applied *after* the warm lookup, so two sessions with
+different suppression sets share one cached analysis and still get
+different (correctly filtered) reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Dict, Tuple
+
+from ..checker.report import Report
+from ..checker.suppressions import Suppression, SuppressionDB
+
+_session_ids = itertools.count(1)
+
+
+class SessionState:
+    """One connection's private state (thread-safe: the connection
+    thread mutates via ``suppress`` while the dispatcher reads via
+    ``filter_check_doc``)."""
+
+    def __init__(self) -> None:
+        self.session_id = next(_session_ids)
+        self._lock = threading.Lock()
+        self._db = SuppressionDB()
+
+    def suppress(self, rule: str, file: str, line: int,
+                 reason: str = "") -> bool:
+        """Add one suppression; returns False when already present."""
+        entry = Suppression(rule, file, int(line),
+                            reason or "suppressed via serve session",
+                            source=f"session-{self.session_id}")
+        with self._lock:
+            return self._db.add(entry)
+
+    def suppression_count(self) -> int:
+        with self._lock:
+            return len(self._db)
+
+    def filter_check_doc(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply this session's suppressions to a ``check`` result doc.
+
+        ``doc`` is already a private copy (the store deep-copies on
+        ``get``), so filtering in place is safe; the stored entry keeps
+        the unfiltered report. With an empty suppression set the doc
+        passes through untouched — byte-identical to the one-shot CLI.
+        """
+        with self._lock:
+            if not len(self._db):
+                return doc
+            report = Report.from_dict(doc["report"])
+            kept, suppressed = self._db.filter(report)
+        doc["report"] = kept.to_dict()
+        doc["suppressed"] = doc.get("suppressed", 0) + len(suppressed)
+        return doc
+
+
+def parse_suppress_params(params: Dict[str, Any]) -> Tuple[str, str, int, str]:
+    """Validate ``suppress`` params; raises ``ValueError`` on bad input."""
+    missing = [k for k in ("rule", "file", "line") if k not in params]
+    if missing:
+        raise ValueError(f"suppress is missing {', '.join(missing)}")
+    rule, file = params["rule"], params["file"]
+    if not isinstance(rule, str) or not isinstance(file, str):
+        raise ValueError("suppress 'rule' and 'file' must be strings")
+    try:
+        line = int(params["line"])
+    except (TypeError, ValueError):
+        raise ValueError("suppress 'line' must be an integer") from None
+    reason = params.get("reason", "")
+    if not isinstance(reason, str):
+        raise ValueError("suppress 'reason' must be a string")
+    return rule, file, line, reason

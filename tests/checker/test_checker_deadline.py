@@ -1,0 +1,37 @@
+"""The static checker under a cooperative deadline: no meaningful
+partial exists for a static report, so expiry raises a typed
+DeadlineExceeded naming the stage that noticed it."""
+
+import pytest
+
+from repro.checker.engine import StaticChecker
+from repro.corpus import REGISTRY
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceeded, ReproError
+
+
+def _module():
+    return REGISTRY.program("pmdk_hashmap").build()
+
+
+class TestCheckerDeadline:
+    def test_expired_budget_raises_with_stage(self):
+        checker = StaticChecker(_module(), deadline=Deadline(0.0))
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            checker.run()
+        assert exc_info.value.stage.startswith("check.")
+
+    def test_deadline_exceeded_is_a_repro_error(self):
+        # the CLI's ReproError handler (exit 2) must catch it too
+        assert issubclass(DeadlineExceeded, ReproError)
+
+    def test_unbounded_deadline_matches_no_deadline(self):
+        bare = StaticChecker(_module()).run()
+        budgeted = StaticChecker(_module(),
+                                 deadline=Deadline.never()).run()
+        assert bare.to_dict() == budgeted.to_dict()
+
+    def test_generous_budget_completes(self):
+        report = StaticChecker(_module(),
+                               deadline=Deadline(300.0)).run()
+        assert report.to_dict() == StaticChecker(_module()).run().to_dict()

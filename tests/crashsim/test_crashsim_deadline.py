@@ -1,0 +1,40 @@
+"""Cooperative deadline degradation in crash simulation: an expired
+budget yields a *well-formed partial* — never a torn report, and never
+a schema change for complete runs."""
+
+from repro.crashsim.engine import CrashSimReport, simulate_program
+from repro.deadline import Deadline
+
+
+class TestDeadlineDegradation:
+    def test_expired_budget_returns_truncated_partial(self):
+        report = simulate_program("pmdk_hashmap", max_states=256,
+                                  deadline=Deadline(0.0))
+        assert report.deadline_exceeded is True
+        assert report.truncated is True
+        doc = report.to_dict()
+        assert doc["deadline_exceeded"] is True
+        assert doc["classified"] is not None
+        # well-formed: every schema field present, round-trippable
+        rehydrated = CrashSimReport.from_dict(doc)
+        assert rehydrated.deadline_exceeded is True
+        assert len(doc["failing"]) <= doc["states"]
+
+    def test_partial_covers_exactly_the_classified_prefix(self):
+        report = simulate_program("pmdk_hashmap", max_states=256,
+                                  deadline=Deadline(0.0))
+        assert report.classified is not None
+        assert report.classified <= report.states
+
+    def test_unbounded_deadline_changes_nothing(self):
+        bare = simulate_program("pmdk_hashmap", max_states=64)
+        budgeted = simulate_program("pmdk_hashmap", max_states=64,
+                                    deadline=Deadline.never())
+        assert bare.to_dict() == budgeted.to_dict()
+
+    def test_complete_reports_keep_the_pinned_schema(self):
+        # the CLI goldens byte-pin crashsim JSON: deadline keys may only
+        # appear when a deadline actually fired
+        doc = simulate_program("pmdk_hashmap", max_states=64).to_dict()
+        assert "deadline_exceeded" not in doc
+        assert "classified" not in doc

@@ -1,0 +1,119 @@
+"""ExecutorPolicy: typed run_tasks configuration, DEEPMC_EXECUTOR_*
+environment overrides, and the env-wins resolution order."""
+
+import pytest
+
+from repro.parallel import ExecutorPolicy, run_tasks
+
+
+def _ok(task):
+    return {"name": task["name"], "ok": True}
+
+
+class TestDefaults:
+    def test_defaults_match_the_historical_constants(self):
+        policy = ExecutorPolicy()
+        assert policy.max_retries == 2
+        assert policy.backoff_s == 0.05
+        assert policy.backoff_cap_s == 2.0
+        assert policy.timeout is None
+        assert policy.in_process_fallback is True
+
+    @pytest.mark.parametrize("kwargs,fragment", [
+        ({"max_retries": -1}, "max_retries"),
+        ({"backoff_s": -0.1}, "backoff_s"),
+        ({"backoff_cap_s": -1.0}, "backoff_cap_s"),
+        ({"timeout": 0}, "timeout"),
+        ({"timeout": -5}, "timeout"),
+    ])
+    def test_invalid_values_fail_loud(self, kwargs, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            ExecutorPolicy(**kwargs)
+
+    def test_backoff_for_is_exponential_and_saturates(self):
+        policy = ExecutorPolicy(backoff_s=0.1, backoff_cap_s=0.4)
+        assert [policy.backoff_for(n) for n in (0, 1, 2, 3, 4)] == \
+            [0.0, 0.1, 0.2, 0.4, 0.4]
+
+    def test_zero_backoff_stays_zero(self):
+        assert ExecutorPolicy(backoff_s=0.0).backoff_for(5) == 0.0
+
+
+class TestFromEnv:
+    def test_empty_env_gives_defaults(self):
+        assert ExecutorPolicy.from_env(env={}) == ExecutorPolicy()
+
+    def test_every_field_is_parsed(self):
+        policy = ExecutorPolicy.from_env(env={
+            "DEEPMC_EXECUTOR_MAX_RETRIES": "5",
+            "DEEPMC_EXECUTOR_BACKOFF_S": "0.25",
+            "DEEPMC_EXECUTOR_BACKOFF_CAP_S": "8",
+            "DEEPMC_EXECUTOR_TIMEOUT_S": "3.5",
+            "DEEPMC_EXECUTOR_FALLBACK": "false",
+        })
+        assert policy == ExecutorPolicy(max_retries=5, backoff_s=0.25,
+                                        backoff_cap_s=8.0, timeout=3.5,
+                                        in_process_fallback=False)
+
+    @pytest.mark.parametrize("raw", ["", "none", "NONE", "off"])
+    def test_timeout_disabling_spellings(self, raw):
+        policy = ExecutorPolicy.from_env(
+            env={"DEEPMC_EXECUTOR_TIMEOUT_S": raw})
+        assert policy.timeout is None
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("false", False), ("No", False), ("off", False),
+    ])
+    def test_fallback_boolean_spellings(self, raw, expected):
+        policy = ExecutorPolicy.from_env(
+            env={"DEEPMC_EXECUTOR_FALLBACK": raw})
+        assert policy.in_process_fallback is expected
+
+    @pytest.mark.parametrize("var,raw", [
+        ("DEEPMC_EXECUTOR_MAX_RETRIES", "lots"),
+        ("DEEPMC_EXECUTOR_BACKOFF_S", "fast"),
+        ("DEEPMC_EXECUTOR_TIMEOUT_S", "soon"),
+        ("DEEPMC_EXECUTOR_FALLBACK", "maybe"),
+    ])
+    def test_malformed_vars_name_the_variable(self, var, raw):
+        # a typo'd deployment knob must fail loud, not silently revert
+        with pytest.raises(ValueError, match=var):
+            ExecutorPolicy.from_env(env={var: raw})
+
+    def test_env_wins_over_keyword_overrides(self):
+        policy = ExecutorPolicy.from_env(
+            env={"DEEPMC_EXECUTOR_MAX_RETRIES": "7"}, max_retries=1)
+        assert policy.max_retries == 7
+
+    def test_overrides_win_over_defaults(self):
+        assert ExecutorPolicy.from_env(env={}, timeout=4.0).timeout == 4.0
+
+    def test_unknown_override_fields_fail(self):
+        with pytest.raises(ValueError, match="retries_max"):
+            ExecutorPolicy.from_env(env={}, retries_max=3)
+
+    def test_validation_applies_to_env_values(self):
+        with pytest.raises(ValueError):
+            ExecutorPolicy.from_env(
+                env={"DEEPMC_EXECUTOR_MAX_RETRIES": "-3"})
+
+
+class TestRunTasksIntegration:
+    def test_policy_object_is_accepted(self):
+        tasks = [{"name": "t0"}, {"name": "t1"}]
+        results = run_tasks(_ok, tasks, jobs=1,
+                            policy=ExecutorPolicy(max_retries=0))
+        assert [r["ok"] for r in results] == [True, True]
+
+    def test_policy_conflicts_with_legacy_kwargs(self):
+        with pytest.raises(ValueError, match="policy"):
+            run_tasks(_ok, [{"name": "t"}], jobs=1,
+                      policy=ExecutorPolicy(), max_retries=3)
+
+    def test_env_overrides_apply_on_top_of_policy(self, monkeypatch):
+        monkeypatch.setenv("DEEPMC_EXECUTOR_TIMEOUT_S", "0.125")
+        resolved = ExecutorPolicy.from_env(
+            **{f: getattr(ExecutorPolicy(), f)
+               for f in ExecutorPolicy.ENV_VARS})
+        assert resolved.timeout == 0.125

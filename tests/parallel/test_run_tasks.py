@@ -37,6 +37,13 @@ def _hang_on_first_attempt(task):
     return {"name": task["name"], "ok": True, "value": task["n"]}
 
 
+def _crash_first_two_attempts(task):
+    if task["n"] in (1, 3) and task.get("_attempt", 0) <= 2:
+        os._exit(23)
+    return {"name": task["name"], "ok": True, "value": task["n"],
+            "attempt": task.get("_attempt")}
+
+
 def _crash_unless_in_process(task):
     if not task.get("_in_process"):
         os._exit(23)
@@ -90,6 +97,19 @@ class TestSelfHealing:
         snap = tel.metrics.snapshot()
         assert snap["executor.timeouts"] >= 1
         assert snap["executor.pool_rebuilds"] >= 1
+
+    def test_repeated_pool_breaks_still_preserve_siblings(self):
+        """Two tasks each killing the pool on their first *two* attempts:
+        three pool generations die back to back, yet every sibling's
+        result survives and both crashers eventually succeed clean."""
+        tel = Telemetry()
+        results = run_tasks(_crash_first_two_attempts, TASKS, jobs=2,
+                            backoff_s=0.01, telemetry=tel)
+        assert [r["ok"] for r in results] == [True] * 5
+        assert [r["value"] for r in results] == [0, 1, 2, 3, 4]
+        assert results[1]["attempt"] >= 3
+        assert results[3]["attempt"] >= 3
+        assert tel.metrics.snapshot()["executor.pool_rebuilds"] >= 2
 
     def test_exhausted_task_falls_back_in_process(self):
         tel = Telemetry()

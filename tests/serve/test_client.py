@@ -1,0 +1,168 @@
+"""Client-side resilience: jittered backoff, retry gating on
+idempotency, transport-failure reconnects, server backpressure hints."""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.client import RetryPolicy, ServeClient
+from repro.serve.protocol import HELLO_SCHEMA, encode, failure, success
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_saturates(self):
+        policy = RetryPolicy(base_backoff_s=0.1, backoff_cap_s=0.4,
+                             jitter=0.0)
+        rng = random.Random(0)
+        waits = [policy.backoff_s(a, rng) for a in (1, 2, 3, 4, 5)]
+        assert waits == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_server_hint_floors_the_backoff(self):
+        policy = RetryPolicy(base_backoff_s=0.01, jitter=0.0)
+        assert policy.backoff_s(1, random.Random(0),
+                                retry_after_ms=500) == 0.5
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        a = [policy.backoff_s(1, random.Random(7)) for _ in range(3)]
+        b = [policy.backoff_s(1, random.Random(7)) for _ in range(3)]
+        assert a == b  # same seed, same jitter
+        assert all(0.05 <= w <= 0.15 for w in a)
+
+
+class _FakeServer:
+    """A scripted daemon: sends the hello banner, then consumes one
+    scripted action per received request — respond ok, respond with an
+    error, or slam the connection (transport failure)."""
+
+    def __init__(self, path, plan):
+        self.path = path
+        self.plan = list(plan)
+        self.requests = []
+        self._stop = False
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(path)
+        self._sock.listen(8)
+        self._sock.settimeout(0.1)
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        while not self._stop:
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.sendall(encode({"schema": HELLO_SCHEMA,
+                                     "ready": True}))
+                reader = conn.makefile("r", encoding="utf-8")
+                for line in reader:
+                    request = json.loads(line)
+                    self.requests.append(request)
+                    action = self.plan.pop(0) if self.plan else ("ok", {})
+                    if action[0] == "close":
+                        break
+                    if action[0] == "error":
+                        code, hint = action[1], action[2]
+                        conn.sendall(encode(failure(
+                            request["id"], code, "scripted",
+                            retry_after_ms=hint)))
+                    else:
+                        conn.sendall(encode(success(request["id"],
+                                                    action[1])))
+            except OSError:
+                pass
+            finally:
+                # shutdown (not just close): the makefile reader holds a
+                # dup of the fd, so close alone would never send the FIN
+                # the client is waiting on
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop = True
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+@pytest.fixture
+def fake_server(tmp_path):
+    servers = []
+
+    def make(plan):
+        server = _FakeServer(str(tmp_path / "fake.sock"), plan)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def _client(server, attempts=4):
+    return ServeClient(("unix", server.path),
+                       retry=RetryPolicy(attempts=attempts,
+                                         base_backoff_s=0.001,
+                                         jitter=0.0))
+
+
+class TestServeClientRetries:
+    def test_retryable_error_is_retried_until_success(self, fake_server):
+        server = fake_server([("error", "overloaded", 1),
+                              ("error", "overloaded", 1),
+                              ("ok", {"pong": True})])
+        with _client(server) as client:
+            assert client.result("ping") == {"pong": True}
+        assert len(server.requests) == 3
+
+    def test_non_retryable_error_raises_immediately(self, fake_server):
+        server = fake_server([("error", "bad_request", None)])
+        with _client(server) as client:
+            with pytest.raises(ServeError) as exc_info:
+                client.call("check", {"program": "x"})
+        assert exc_info.value.code == "bad_request"
+        assert len(server.requests) == 1
+
+    def test_transport_failure_reconnects_idempotent(self, fake_server):
+        server = fake_server([("close",), ("ok", {"pong": True})])
+        with _client(server) as client:
+            assert client.result("ping") == {"pong": True}
+        assert len(server.requests) == 2
+
+    def test_suppress_never_retried_after_transport_failure(
+            self, fake_server):
+        # the first send may have landed: resubmitting a mutation after
+        # an ambiguous failure could apply it twice
+        server = fake_server([("close",)])
+        with _client(server) as client:
+            with pytest.raises(ServeError):
+                client.call("suppress", {"rule": "r", "file": "f",
+                                         "line": 1})
+        assert len(server.requests) == 1
+
+    def test_attempts_budget_is_finite(self, fake_server):
+        server = fake_server([("error", "overloaded", 1)] * 10)
+        with _client(server, attempts=3) as client:
+            with pytest.raises(ServeError) as exc_info:
+                client.call("ping")
+        assert exc_info.value.code == "overloaded"
+        assert len(server.requests) == 3
+
+    def test_timeout_is_injected_into_params(self, fake_server):
+        server = fake_server([("ok", {})])
+        with _client(server) as client:
+            client.call("check", {"program": "x"}, timeout_s=7)
+        assert server.requests[0]["params"]["timeout_s"] == 7

@@ -1,0 +1,110 @@
+"""Wire-protocol frames: parsing, response shapes, the error-code set."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    HEAVY_METHODS,
+    IDEMPOTENT_METHODS,
+    LIGHT_METHODS,
+    METHODS,
+    ProtocolError,
+    Request,
+    decode_response,
+    encode,
+    failure,
+    parse_address,
+    success,
+)
+
+
+class TestRequestParse:
+    def test_minimal_request(self):
+        req = Request.parse('{"id": 1, "method": "ping"}')
+        assert (req.id, req.method, req.params) == (1, "ping", {})
+
+    def test_params_round_trip(self):
+        req = Request.parse(
+            '{"id": "a", "method": "check",'
+            ' "params": {"program": "x"}}')
+        assert req.params == {"program": "x"}
+
+    @pytest.mark.parametrize("line,fragment", [
+        ("not json", "invalid JSON"),
+        ("[1, 2]", "must be a JSON object"),
+        ('{"method": "ping"}', "missing 'id'"),
+        ('{"id": [1], "method": "ping"}', "'id' must be a scalar"),
+        ('{"id": 1}', "missing 'method'"),
+        ('{"id": 1, "method": 7}', "missing 'method'"),
+        ('{"id": 1, "method": "ping", "params": []}',
+         "'params' must be an object"),
+        ('{"id": 1, "method": "ping", "extra": true}',
+         "unknown request key(s): extra"),
+    ])
+    def test_malformed_requests_fail_loud(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment.replace(
+                "[", r"\[").replace("(", r"\(").replace(")", r"\)")):
+            Request.parse(line)
+
+
+class TestResponses:
+    def test_success_frame(self):
+        doc = success(3, {"x": 1}, meta={"served": "warm"})
+        assert doc == {"id": 3, "ok": True, "result": {"x": 1},
+                       "meta": {"served": "warm"}}
+        assert decode_response(encode(doc).decode()) == doc
+
+    def test_failure_frame_carries_retryability(self):
+        doc = failure(4, "overloaded", "full", retry_after_ms=120)
+        assert doc["error"]["retryable"] is True
+        assert doc["error"]["retry_after_ms"] == 120
+        assert decode_response(encode(doc).decode()) == doc
+
+    def test_failure_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            failure(1, "nope", "x")
+
+    def test_encode_is_one_compact_line(self):
+        raw = encode({"b": 1, "a": 2})
+        assert raw == b'{"a":2,"b":1}\n'
+
+    def test_decode_rejects_torn_frames(self):
+        with pytest.raises(ProtocolError):
+            decode_response('{"id": 1}')
+        with pytest.raises(ProtocolError):
+            decode_response('{"ok": true}')
+        with pytest.raises(ProtocolError):
+            decode_response('{"ok": false, "error": {}}')
+
+    def test_error_stage_is_optional(self):
+        doc = failure(1, "deadline_exceeded", "x", stage="check.rules")
+        assert doc["error"]["stage"] == "check.rules"
+        assert "stage" not in failure(1, "deadline_exceeded", "x")["error"]
+
+
+class TestMethodSets:
+    def test_methods_partition(self):
+        assert set(METHODS) == set(HEAVY_METHODS) | set(LIGHT_METHODS)
+        assert not set(HEAVY_METHODS) & set(LIGHT_METHODS)
+
+    def test_suppress_is_the_only_non_idempotent_method(self):
+        assert set(METHODS) - set(IDEMPOTENT_METHODS) == {"suppress"}
+
+    def test_transient_codes_are_exactly_the_admission_verdicts(self):
+        retryable = {c for c, r in ERROR_CODES.items() if r}
+        assert retryable == {"overloaded", "shutting_down"}
+
+
+class TestParseAddress:
+    def test_unix(self):
+        assert parse_address("/tmp/x.sock", None) == ("unix", "/tmp/x.sock")
+
+    def test_tcp(self):
+        assert parse_address(None, 7001) == ("tcp", ("127.0.0.1", 7001))
+
+    @pytest.mark.parametrize("sock,port", [(None, None), ("/s", 7001)])
+    def test_exactly_one_required(self, sock, port):
+        with pytest.raises(ProtocolError):
+            parse_address(sock, port)
